@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it next to the paper's reported numbers.  Benchmarks run the
+experiment exactly once per session (pedantic mode) — the interesting
+output is the *experiment result*, not the wall-clock of the harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core.rng import RandomStreams
+
+# Fidelity shared by every benchmark: full-precision profiles are cached
+# across benchmarks inside the library.
+SAMPLES = 200
+N_REQUESTS = 12_000
+
+
+@pytest.fixture(scope="session")
+def streams():
+    return RandomStreams(2023)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

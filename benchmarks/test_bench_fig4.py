@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 4 (normalized throughput & p99, all
+functions) and print it next to the paper's reported ranges."""
+
+from conftest import N_REQUESTS, SAMPLES, run_once
+
+from repro.experiments import format_fig4, run_fig4
+
+PAPER_NOTES = """
+paper Fig. 4 anchors:
+  throughput ratio range .......... 0.1x - 3.5x
+  p99 ratio range ................. 0.1x - 13.8x
+  UDP micro ....................... 76.5-85.7% lower throughput
+  RDMA micro ...................... up to 1.4x throughput, 15-24% lower p99
+  REM file_image .................. accel 1.8x host
+  REM file_flash/executable ....... accel 0.6x host
+  AES / RSA ....................... host 1.385x / 1.912x accel
+  SHA-1 ........................... accel 1.89x host
+  Compression ..................... accel up to 3.5x host
+  MICA ............................ 19.5-54.5% lower throughput
+  fio ............................. throughput parity
+"""
+
+
+def test_fig4(benchmark, streams):
+    rows = run_once(benchmark, run_fig4, samples=SAMPLES,
+                    n_requests=N_REQUESTS, streams=streams)
+    print()
+    print(format_fig4(rows))
+    print(PAPER_NOTES)
+    ratios = [r.throughput_ratio for r in rows]
+    assert 0.08 <= min(ratios) <= 0.25
+    assert 2.3 <= max(ratios) <= 3.8

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 6 (power + normalized energy efficiency)."""
+
+from conftest import N_REQUESTS, SAMPLES, run_once
+
+from repro.experiments import format_fig6, run_fig6
+
+PAPER_NOTES = """
+paper Fig. 6 anchors:
+  idle server / idle SNIC ......... 252 W / 29 W
+  max active server / SNIC ........ ~150.6 W / ~5.4 W
+  efficiency ratio range .......... 0.2x - 3.8x
+  fio ............................. 1.1-1.3x
+  REM (file_image only) ........... ~2.5x
+  SHA-1 ........................... ~1.9x      (we measure ~2.5x, see EXPERIMENTS.md)
+  Compression ..................... 3.4-3.8x
+"""
+
+
+def test_fig6(benchmark, streams):
+    rows = run_once(benchmark, run_fig6, samples=SAMPLES,
+                    n_requests=N_REQUESTS, streams=streams)
+    print()
+    print(format_fig6(rows))
+    print(PAPER_NOTES)
+    ratios = [r.efficiency_ratio for r in rows]
+    assert 0.15 <= min(ratios) <= 0.3
+    assert 2.8 <= max(ratios) <= 4.2

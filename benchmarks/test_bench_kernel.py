@@ -1,0 +1,68 @@
+"""Performance benchmarks of the simulation substrate itself.
+
+These measure the library's own hot loops (event kernel, Lindley fast
+path, DFA scanning, DEFLATE) — regressions here make every experiment
+slower.
+"""
+
+import numpy as np
+
+from repro.core import Resource, Simulator
+from repro.core.queueing import simulate_gg1
+from repro.functions.compression import deflate
+from repro.functions.regex.rulesets import compile_ruleset
+from repro.workloads import make_compression_input
+
+
+def test_event_kernel_throughput(benchmark):
+    """Events processed per second by the DES kernel."""
+
+    def run():
+        sim = Simulator()
+        core = Resource(sim, capacity=2)
+
+        def job():
+            yield core.request()
+            yield sim.timeout(1e-6)
+            core.release()
+
+        for _ in range(2000):
+            sim.process(job())
+        sim.run()
+        return sim.now
+
+    benchmark(run)
+
+
+def test_lindley_fast_path(benchmark):
+    """The G/G/1 fast path that powers every rate probe."""
+    rng = np.random.default_rng(0)
+
+    def run():
+        return simulate_gg1(
+            1e6, lambda r, n: r.exponential(8e-7, size=n), 20_000, rng,
+            queue_limit=1e-4,
+        )
+
+    benchmark(run)
+
+
+def test_dfa_scan_rate(benchmark):
+    """Multi-pattern scanning over a 16 KiB payload."""
+    matcher = compile_ruleset("file_executable")
+    payload = make_compression_input("app", 16 * 1024)
+
+    def run():
+        return matcher.scan(payload)
+
+    benchmark(run)
+
+
+def test_deflate_rate(benchmark):
+    """Level-6 DEFLATE over a 4 KiB text chunk."""
+    data = make_compression_input("txt", 4096)
+
+    def run():
+        return deflate.compress(data, level=6)
+
+    benchmark(run)

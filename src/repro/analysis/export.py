@@ -1,0 +1,101 @@
+"""CSV export of measured results.
+
+Reviewers and downstream tooling want raw numbers, not rendered tables:
+these writers serialize the Fig. 4/5/6 and Table 5 result objects to CSV
+with one row per measurement point, suitable for pandas/gnuplot.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Sequence
+
+
+def write_fig4_csv(stream: IO[str], rows: Sequence) -> int:
+    writer = csv.writer(stream)
+    writer.writerow([
+        "key", "display", "category", "snic_platform",
+        "host_capacity_rps", "host_throughput_rps", "host_goodput_gbps",
+        "host_p99_us", "host_power_w",
+        "snic_capacity_rps", "snic_throughput_rps", "snic_goodput_gbps",
+        "snic_p99_us", "snic_power_w",
+        "throughput_ratio", "p99_ratio",
+    ])
+    for row in rows:
+        writer.writerow([
+            row.key, row.display, row.category, row.snic_platform,
+            f"{row.host.capacity_rps:.2f}",
+            f"{row.host.throughput_rps:.2f}",
+            f"{row.host.goodput_gbps:.4f}",
+            f"{row.host.p99_latency_s * 1e6:.3f}",
+            f"{row.host.server_power_w:.2f}",
+            f"{row.snic.capacity_rps:.2f}",
+            f"{row.snic.throughput_rps:.2f}",
+            f"{row.snic.goodput_gbps:.4f}",
+            f"{row.snic.p99_latency_s * 1e6:.3f}",
+            f"{row.snic.server_power_w:.2f}",
+            f"{row.throughput_ratio:.4f}",
+            f"{row.p99_ratio:.4f}",
+        ])
+    return len(rows)
+
+
+def write_fig5_csv(stream: IO[str], figure) -> int:
+    writer = csv.writer(stream)
+    writer.writerow([
+        "ruleset", "series", "platform", "cores",
+        "offered_gbps", "achieved_gbps", "p99_us", "saturated",
+    ])
+    count = 0
+    for ruleset, curves in figure.items():
+        for curve in curves:
+            for point in curve.points:
+                writer.writerow([
+                    ruleset, curve.label, curve.platform,
+                    curve.cores if curve.cores is not None else "",
+                    f"{point.offered_gbps:.2f}",
+                    f"{point.achieved_gbps:.3f}",
+                    f"{point.p99_latency_s * 1e6:.3f}",
+                    int(point.saturated),
+                ])
+                count += 1
+    return count
+
+
+def write_fig6_csv(stream: IO[str], rows: Sequence) -> int:
+    writer = csv.writer(stream)
+    writer.writerow([
+        "key", "display", "snic_platform",
+        "host_power_w", "snic_power_w", "snic_device_w",
+        "host_goodput_gbps", "snic_goodput_gbps", "efficiency_ratio",
+    ])
+    for row in rows:
+        writer.writerow([
+            row.key, row.display, row.snic_platform,
+            f"{row.host_power_w:.2f}", f"{row.snic_power_w:.2f}",
+            f"{row.snic_device_w:.2f}",
+            f"{row.host_goodput_gbps:.4f}", f"{row.snic_goodput_gbps:.4f}",
+            f"{row.efficiency_ratio:.4f}",
+        ])
+    return len(rows)
+
+
+def write_table5_csv(stream: IO[str], comparisons: Sequence) -> int:
+    writer = csv.writer(stream)
+    writer.writerow([
+        "application", "snic_servers", "nic_servers",
+        "snic_power_w", "nic_power_w",
+        "snic_tco_usd", "nic_tco_usd", "savings_fraction",
+    ])
+    for comparison in comparisons:
+        writer.writerow([
+            comparison.application,
+            comparison.snic_fleet.servers,
+            comparison.nic_fleet.servers,
+            f"{comparison.snic_fleet.power_per_server_w:.2f}",
+            f"{comparison.nic_fleet.power_per_server_w:.2f}",
+            f"{comparison.snic_fleet.tco_usd:.2f}",
+            f"{comparison.nic_fleet.tco_usd:.2f}",
+            f"{comparison.savings_fraction:.4f}",
+        ])
+    return len(comparisons)

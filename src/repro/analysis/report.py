@@ -1,0 +1,260 @@
+"""EXPERIMENTS.md generator: paper-vs-measured for every artifact.
+
+Running :func:`generate_report` re-measures every table and figure and
+emits a markdown report with the paper's anchors beside the reproduction's
+numbers, flagging which anchors are calibrated inputs versus emergent
+outputs.  ``python -m repro report`` writes it to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.rng import RandomStreams
+from ..experiments import (
+    format_verdicts,
+    rows_from_fig4,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_table4,
+    run_table5,
+)
+from ..experiments.observations import (
+    observation_1,
+    observation_2,
+    observation_3,
+    observation_4,
+    observation_5,
+)
+from .tco import format_comparison
+
+
+@dataclass
+class AnchorRow:
+    artifact: str
+    quantity: str
+    paper: str
+    measured: str
+    status: str  # "anchored" (calibrated input) | "emergent" | "deviation"
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def collect_anchor_rows(
+    fig4_rows, fig6_rows, fig5_curves, table4, table5
+) -> List[AnchorRow]:
+    by_key = {r.key: r for r in fig4_rows}
+    eff = {r.key: r for r in fig6_rows}
+
+    def tr(key):
+        return by_key[key].throughput_ratio
+
+    rows: List[AnchorRow] = [
+        AnchorRow("Fig4", "throughput ratio range", "0.1x - 3.5x",
+                  f"{_fmt(min(r.throughput_ratio for r in fig4_rows))}x - "
+                  f"{_fmt(max(r.throughput_ratio for r in fig4_rows))}x",
+                  "emergent"),
+        AnchorRow("Fig4", "p99 ratio range", "0.1x - 13.8x",
+                  f"{_fmt(min(r.p99_ratio for r in fig4_rows))}x - "
+                  f"{_fmt(max(r.p99_ratio for r in fig4_rows))}x",
+                  "emergent (narrower: our worst p99 case is milder)"),
+        AnchorRow("Fig4/KO1", "UDP micro throughput", "76.5-85.7% lower",
+                  f"{(1-tr('udp:64'))*100:.1f}% / {(1-tr('udp:1024'))*100:.1f}% lower",
+                  "anchored (stack cycle costs calibrated)"),
+        AnchorRow("Fig4/KO1", "UDP micro p99", "1.1-1.4x higher",
+                  f"{_fmt(by_key['udp:64'].p99_ratio)}x / "
+                  f"{_fmt(by_key['udp:1024'].p99_ratio)}x",
+                  "deviation (queueing model amplifies kernel-stack tails)"),
+        AnchorRow("Fig4/KO1", "RDMA micro throughput", "up to 1.4x",
+                  f"{_fmt(tr('rdma:1024'))}x", "anchored"),
+        AnchorRow("Fig4/KO1", "RDMA micro p99", "14.6-24.3% lower",
+                  f"{(1-by_key['rdma:1024'].p99_ratio)*100:.0f}% lower",
+                  "emergent (slightly smaller gap; knee-detection noise)"),
+        AnchorRow("Fig4/KO1", "TCP/UDP functions", "20.6-89.5% lower",
+                  f"{(1-max(tr(k) for k in ('redis:a','bm25:1k','nat:10k','snort:file_image')))*100:.0f}%"
+                  f" - {(1-min(tr(k) for k in ('redis:a','redis:b','nat:10k','nat:1m')))*100:.0f}% lower",
+                  "emergent (narrower band: see notes)"),
+        AnchorRow("Fig4/KO1", "MICA throughput", "19.5-54.5% lower",
+                  f"{(1-tr('mica:4'))*100:.0f}% / {(1-tr('mica:32'))*100:.0f}% lower",
+                  "anchored endpoints"),
+        AnchorRow("Fig4/KO1", "fio throughput", "parity",
+                  f"{_fmt(tr('fio:read'))}x / {_fmt(tr('fio:write'))}x", "emergent"),
+        AnchorRow("Fig4/KO2", "AES", "host 1.385x accel",
+                  f"host {_fmt(1/tr('crypto:aes'))}x", "anchored"),
+        AnchorRow("Fig4/KO2", "RSA", "host 1.912x accel",
+                  f"host {_fmt(1/tr('crypto:rsa'))}x", "anchored"),
+        AnchorRow("Fig4/KO2", "SHA-1", "accel 1.89x host",
+                  f"accel {_fmt(tr('crypto:sha1'))}x", "anchored"),
+        AnchorRow("Fig4/KO4", "REM file_image", "accel 1.8x host",
+                  f"accel {_fmt(tr('rem:file_image'))}x",
+                  "emergent (rule-set density x calibrated scan costs)"),
+        AnchorRow("Fig4/KO4", "REM flash/exe", "accel 0.6x host",
+                  f"{_fmt(tr('rem:file_flash'))}x / {_fmt(tr('rem:file_executable'))}x",
+                  "emergent"),
+        AnchorRow("Fig4/KO2", "Compression", "accel up to 3.5x",
+                  f"{_fmt(tr('compression:app'))}x / {_fmt(tr('compression:txt'))}x",
+                  "anchored"),
+    ]
+
+    exe_curves = {c.label: c for c in fig5_curves["file_executable"]}
+    img_curves = {c.label: c for c in fig5_curves["file_image"]}
+    rows += [
+        AnchorRow("Fig5/KO3", "accel max throughput", "~50 Gb/s cap",
+                  f"{_fmt(exe_curves['snic-accel'].max_achieved_gbps(), 1)} / "
+                  f"{_fmt(img_curves['snic-accel'].max_achieved_gbps(), 1)} Gb/s",
+                  "anchored (engine rate calibrated)"),
+        AnchorRow("Fig5", "host exe 8-core max", "~78 Gb/s",
+                  f"{_fmt(exe_curves['host-8c'].max_achieved_gbps(), 1)} Gb/s",
+                  "emergent"),
+        AnchorRow("Fig5/KO4", "host image p99 wall", "~40 Gb/s",
+                  f"{_fmt(img_curves['host-8c'].max_achieved_gbps(), 1)} Gb/s",
+                  "emergent"),
+        AnchorRow("Fig5", "host p99 below knee", "~5.1 us",
+                  f"{min(p.p99_latency_s for p in exe_curves['host-8c'].points)*1e6:.1f} us",
+                  "emergent"),
+        AnchorRow("Fig5", "accel p99 at capacity", "~25.1 us",
+                  f"{min(p.p99_latency_s for p in exe_curves['snic-accel'].points)*1e6:.1f} us",
+                  "emergent (batching latency)"),
+    ]
+
+    rows += [
+        AnchorRow("Fig6/KO5", "efficiency ratio range", "0.2x - 3.8x",
+                  f"{_fmt(min(r.efficiency_ratio for r in fig6_rows))}x - "
+                  f"{_fmt(max(r.efficiency_ratio for r in fig6_rows))}x",
+                  "emergent (idle-power arithmetic)"),
+        AnchorRow("Fig6", "fio efficiency", "1.1-1.3x",
+                  f"{_fmt(eff['fio:read'].efficiency_ratio)}x", "emergent"),
+        AnchorRow("Fig6", "REM(image) efficiency", "~2.5x",
+                  f"{_fmt(eff['rem:file_image'].efficiency_ratio)}x", "emergent"),
+        AnchorRow("Fig6", "SHA-1 efficiency", "~1.9x",
+                  f"{_fmt(eff['crypto:sha1'].efficiency_ratio)}x",
+                  "deviation (ours higher: host crypto power modeled at full burn)"),
+        AnchorRow("Fig6", "Compression efficiency", "3.4-3.8x",
+                  f"{_fmt(eff['compression:txt'].efficiency_ratio)}x", "emergent"),
+        AnchorRow("Fig6", "idle server / SNIC", "252 W / 29 W",
+                  "252 W / 29 W", "anchored"),
+    ]
+
+    rows += [
+        AnchorRow("Table4", "throughput", "0.76 / 0.76 Gb/s",
+                  f"{_fmt(table4.host.throughput_gbps)} / "
+                  f"{_fmt(table4.snic.throughput_gbps)} Gb/s", "emergent"),
+        AnchorRow("Table4", "p99", "5.07 / 17.43 us",
+                  f"{_fmt(table4.host.p99_latency_us)} / "
+                  f"{_fmt(table4.snic.p99_latency_us)} us",
+                  "emergent (shape: ~3-4x penalty)"),
+        AnchorRow("Table4", "power", "278.3 / 254.5 W",
+                  f"{_fmt(table4.host.average_power_w, 1)} / "
+                  f"{_fmt(table4.snic.average_power_w, 1)} W",
+                  "emergent (spin + engaged-engine model)"),
+    ]
+
+    by_app = table5.by_application()
+    paper_savings = {"fio": "2.7%", "OVS": "1.7%", "REM": "-2.5%", "Compress": "70.7%"}
+    for app, paper_value in paper_savings.items():
+        rows.append(
+            AnchorRow("Table5", f"{app} TCO savings", paper_value,
+                      f"{by_app[app].savings_fraction:.1%}",
+                      "emergent (prices anchored; power measured)")
+        )
+    return rows
+
+
+def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
+                  table5_text: str, fig7_stats: Dict[str, float]) -> str:
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Regenerate this file with `python -m repro report` (about two",
+        "minutes).  Status legend: **anchored** = the quantity was used to",
+        "calibrate the model (agreement is expected, not evidence);",
+        "**emergent** = the quantity falls out of the queueing/power/price",
+        "models; **deviation** = a known, documented mismatch.",
+        "",
+        "| artifact | quantity | paper | measured | status |",
+        "|---|---|---|---|---|",
+    ]
+    for row in anchor_rows:
+        lines.append(
+            f"| {row.artifact} | {row.quantity} | {row.paper} | "
+            f"{row.measured} | {row.status} |"
+        )
+    lines += [
+        "",
+        "## Key Observations",
+        "",
+        "```",
+        verdict_text,
+        "```",
+        "",
+        "## Table 5 (measured)",
+        "",
+        "```",
+        table5_text,
+        "```",
+        "",
+        "## Fig. 7 trace",
+        "",
+        f"- average {fig7_stats['average_gbps']:.2f} Gb/s, "
+        f"p50 {fig7_stats['p50_gbps']:.2f}, p99 {fig7_stats['p99_gbps']:.2f}, "
+        f"peak {fig7_stats['peak_gbps']:.2f} Gb/s over "
+        f"{fig7_stats['duration_s']:.0f} s",
+        "",
+        "## Known deviations and their causes",
+        "",
+        "1. **Kernel-stack p99 ratios (UDP micro, Redis, NAT, BM25).** The",
+        "   paper reports 1.1-1.4x (micro) and up to 3.2x (functions); we",
+        "   measure ~1.8-3.2x across the board.  Our loss-bounded FCFS",
+        "   queues tie tail latency to service time more strongly than the",
+        "   real systems, where NAPI batching and client-side effects",
+        "   flatten the gap.  Direction and ordering are preserved.",
+        "2. **SHA-1 energy efficiency.** Paper ~1.9x, ours ~2.5x: our host",
+        "   crypto run is modeled at full 8-core burn (~110 W active); the",
+        "   paper's host SHA-1 run apparently drew far less.  All other",
+        "   efficiency anchors land in band.",
+        "3. **TCP/UDP function throughput band.** Paper 20.6-89.5% lower;",
+        "   ours spans ~54-87% lower.  The paper's 20.6% case is not",
+        "   identified per-function; our most SNIC-friendly kernel-stack",
+        "   function (BM25 1k docs) lands at ~54% lower.",
+        "",
+        "## Substitutions (hardware -> simulation)",
+        "",
+        "See DESIGN.md §1 for the full substitution table and rationale.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def generate_report(
+    samples: int = 200,
+    n_requests: int = 12_000,
+    streams: Optional[RandomStreams] = None,
+) -> str:
+    """Measure everything and render the markdown report."""
+    streams = streams or RandomStreams(2023)
+    fig4_rows = run_fig4(samples=samples, n_requests=n_requests, streams=streams)
+    fig6_rows = rows_from_fig4(fig4_rows)
+    fig5_curves = run_fig5(samples=150, n_requests=8000, streams=streams)
+    table4 = run_table4(samples=150, n_requests=8000, streams=streams)
+    table5 = run_table5(samples=150, n_requests=8000, streams=streams)
+    fig7 = run_fig7()
+
+    verdicts = [
+        observation_1(fig4_rows),
+        observation_2(fig4_rows),
+        observation_3(fig5_curves),
+        observation_4(fig4_rows),
+        observation_5(fig6_rows),
+    ]
+    anchor_rows = collect_anchor_rows(fig4_rows, fig6_rows, fig5_curves,
+                                      table4, table5)
+    return render_report(
+        anchor_rows,
+        format_verdicts(verdicts),
+        format_comparison(table5.comparisons),
+        fig7.stats,
+    )

@@ -1,0 +1,129 @@
+"""Total-cost-of-ownership analysis (Table 5, §5.2).
+
+The paper compares a fleet of SNIC-equipped servers against a fleet of
+standard-NIC servers delivering the *same aggregate throughput*: the NIC
+fleet is scaled up when the SNIC runs a function faster (Compress needs
+35 NIC servers to match 10 SNIC servers).  Cost = capital (server + the
+chosen NIC) + electricity over the 5-year lifetime at $0.162/kWh.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hardware.specs import (
+    ELECTRICITY_USD_PER_KWH,
+    PRICES_USD,
+    SERVER_LIFETIME_YEARS,
+)
+
+HOURS_PER_YEAR = 24 * 365
+
+
+@dataclass(frozen=True)
+class ServerCosts:
+    """Capital cost of one server in each configuration."""
+
+    base_usd: float = PRICES_USD["server_without_nic"]
+    snic_usd: float = PRICES_USD["snic_bluefield2"]
+    nic_usd: float = PRICES_USD["nic_connectx6dx"]
+
+    @property
+    def snic_server_usd(self) -> float:
+        return self.base_usd + self.snic_usd
+
+    @property
+    def nic_server_usd(self) -> float:
+        return self.base_usd + self.nic_usd
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """One side of the Table 5 comparison."""
+
+    servers: int
+    power_per_server_w: float
+    server_cost_usd: float
+    lifetime_years: float = SERVER_LIFETIME_YEARS
+    electricity_usd_per_kwh: float = ELECTRICITY_USD_PER_KWH
+
+    @property
+    def energy_per_server_kwh(self) -> float:
+        hours = self.lifetime_years * HOURS_PER_YEAR
+        return self.power_per_server_w * hours / 1000.0
+
+    @property
+    def power_cost_per_server_usd(self) -> float:
+        return self.energy_per_server_kwh * self.electricity_usd_per_kwh
+
+    @property
+    def tco_usd(self) -> float:
+        return self.servers * (self.server_cost_usd + self.power_cost_per_server_usd)
+
+
+@dataclass(frozen=True)
+class TcoComparison:
+    application: str
+    snic_fleet: FleetPlan
+    nic_fleet: FleetPlan
+
+    @property
+    def savings_fraction(self) -> float:
+        """Positive = the SNIC fleet is cheaper (the paper's convention)."""
+        if self.nic_fleet.tco_usd <= 0:
+            return 0.0
+        return 1.0 - self.snic_fleet.tco_usd / self.nic_fleet.tco_usd
+
+
+def compare(
+    application: str,
+    snic_power_w: float,
+    nic_power_w: float,
+    throughput_ratio_snic_over_host: float,
+    snic_servers: int = 10,
+    costs: ServerCosts = ServerCosts(),
+) -> TcoComparison:
+    """Build the Table 5 comparison for one application.
+
+    ``throughput_ratio_snic_over_host`` sizes the NIC fleet: matching the
+    SNIC fleet's aggregate throughput needs ``ceil(snic_servers * ratio)``
+    standard servers (ratio <= 1 keeps the fleets equal, as the paper does
+    for fio/OvS/REM where throughputs are comparable).
+    """
+    if throughput_ratio_snic_over_host <= 0:
+        raise ValueError("throughput ratio must be positive")
+    if throughput_ratio_snic_over_host <= 1.07:
+        # comparable throughput (fio / OvS / REM): equal fleets, as in the
+        # paper; measurement noise must not add a phantom server
+        nic_servers = snic_servers
+    else:
+        nic_servers = math.ceil(snic_servers * throughput_ratio_snic_over_host)
+    return TcoComparison(
+        application=application,
+        snic_fleet=FleetPlan(
+            servers=snic_servers,
+            power_per_server_w=snic_power_w,
+            server_cost_usd=costs.snic_server_usd,
+        ),
+        nic_fleet=FleetPlan(
+            servers=nic_servers,
+            power_per_server_w=nic_power_w,
+            server_cost_usd=costs.nic_server_usd,
+        ),
+    )
+
+
+def format_comparison(comparisons) -> str:
+    lines = [
+        f"{'application':<12} {'SNIC srv':>8} {'NIC srv':>8} {'SNIC W':>7} "
+        f"{'NIC W':>7} {'SNIC TCO':>11} {'NIC TCO':>11} {'savings':>8}"
+    ]
+    for c in comparisons:
+        lines.append(
+            f"{c.application:<12} {c.snic_fleet.servers:>8} {c.nic_fleet.servers:>8} "
+            f"{c.snic_fleet.power_per_server_w:>7.0f} {c.nic_fleet.power_per_server_w:>7.0f} "
+            f"${c.snic_fleet.tco_usd:>10,.0f} ${c.nic_fleet.tco_usd:>10,.0f} "
+            f"{c.savings_fraction:>7.1%}"
+        )
+    return "\n".join(lines)

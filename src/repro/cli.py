@@ -1,0 +1,186 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro fig4              # Fig. 4 table
+    python -m repro fig5              # Fig. 5 rate sweeps
+    python -m repro fig6              # Fig. 6 power / efficiency
+    python -m repro fig7              # Fig. 7 trace sparkline
+    python -m repro table4            # Table 4 trace replay
+    python -m repro table5            # Table 5 TCO
+    python -m repro observations      # O1-O5 verdicts
+    python -m repro report [-o FILE]  # full EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis.report import generate_report
+from .analysis.tables import format_all_tables
+from .analysis.tco import format_comparison
+from .core.rng import RandomStreams
+from .experiments import (
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_table4,
+    format_verdicts,
+    rows_from_fig4,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_table4,
+    run_table5,
+)
+from .experiments.observations import (
+    observation_1,
+    observation_2,
+    observation_3,
+    observation_4,
+    observation_5,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SmartNIC datacenter-tax study (IISWC'23), reproduced in simulation",
+    )
+    parser.add_argument("--samples", type=int, default=200,
+                        help="function-profile sample count (fidelity)")
+    parser.add_argument("--requests", type=int, default=12_000,
+                        help="requests simulated per rate probe")
+    parser.add_argument("--seed", type=int, default=2023, help="root RNG seed")
+    parser.add_argument("--csv", default=None, metavar="FILE",
+                        help="also write the result as CSV (fig4/fig5/fig6/table5)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("fig4", "fig5", "fig6", "fig7", "table4", "table5",
+                 "observations", "tables", "strategy1", "modes",
+                 "sensitivity", "microburst"):
+        sub.add_parser(name, help=f"regenerate {name}")
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("-o", "--output", default=None,
+                        help="write to a file instead of stdout")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    streams = RandomStreams(args.seed)
+    started = time.time()
+
+    if args.command == "fig4":
+        from .analysis.plots import fig4_chart
+
+        rows = run_fig4(samples=args.samples, n_requests=args.requests,
+                        streams=streams)
+        print(format_fig4(rows))
+        print()
+        print(fig4_chart(rows))
+        if args.csv:
+            from .analysis.export import write_fig4_csv
+
+            with open(args.csv, "w", newline="") as handle:
+                write_fig4_csv(handle, rows)
+    elif args.command == "fig5":
+        from .analysis.plots import fig5_chart
+
+        figure = run_fig5(samples=args.samples, n_requests=args.requests,
+                          streams=streams)
+        print(format_fig5(figure))
+        for ruleset, curves in figure.items():
+            print(f"\n[{ruleset}]")
+            print(fig5_chart(curves))
+        if args.csv:
+            from .analysis.export import write_fig5_csv
+
+            with open(args.csv, "w", newline="") as handle:
+                write_fig5_csv(handle, figure)
+    elif args.command == "fig6":
+        from .analysis.plots import fig6_chart
+
+        rows = rows_from_fig4(run_fig4(samples=args.samples,
+                                       n_requests=args.requests,
+                                       streams=streams))
+        print(format_fig6(rows))
+        print()
+        print(fig6_chart(rows))
+        if args.csv:
+            from .analysis.export import write_fig6_csv
+
+            with open(args.csv, "w", newline="") as handle:
+                write_fig6_csv(handle, rows)
+    elif args.command == "fig7":
+        print(format_fig7(run_fig7()))
+    elif args.command == "table4":
+        print(format_table4(run_table4(samples=args.samples,
+                                       n_requests=args.requests,
+                                       streams=streams)))
+    elif args.command == "table5":
+        result = run_table5(samples=args.samples, n_requests=args.requests,
+                            streams=streams)
+        print(format_comparison(result.comparisons))
+        if args.csv:
+            from .analysis.export import write_table5_csv
+
+            with open(args.csv, "w", newline="") as handle:
+                write_table5_csv(handle, result.comparisons)
+    elif args.command == "observations":
+        fig4_rows = run_fig4(samples=args.samples, n_requests=args.requests,
+                             streams=streams)
+        fig5_curves = run_fig5(samples=150, n_requests=8000, streams=streams)
+        fig6_rows = rows_from_fig4(fig4_rows)
+        verdicts = [
+            observation_1(fig4_rows),
+            observation_2(fig4_rows),
+            observation_3(fig5_curves),
+            observation_4(fig4_rows),
+            observation_5(fig6_rows),
+        ]
+        print(format_verdicts(verdicts))
+        if not all(v.holds for v in verdicts):
+            return 1
+    elif args.command == "tables":
+        print(format_all_tables())
+    elif args.command == "strategy1":
+        from .experiments.strategy1 import format_strategy1, run_strategy1
+
+        print(format_strategy1(run_strategy1(samples=args.samples,
+                                             n_requests=args.requests,
+                                             streams=streams)))
+    elif args.command == "modes":
+        from .experiments.modes import format_mode_study, run_mode_study
+
+        print(format_mode_study(run_mode_study()))
+    elif args.command == "sensitivity":
+        from .experiments.sensitivity import format_sensitivity, run_sensitivity
+
+        print(format_sensitivity(run_sensitivity(samples=args.samples,
+                                                 n_requests=args.requests,
+                                                 streams=streams)))
+    elif args.command == "microburst":
+        from .experiments.microburst import format_microburst, run_microburst_study
+
+        print(format_microburst(run_microburst_study(
+            samples=args.samples, n_requests=args.requests, streams=streams)))
+    elif args.command == "report":
+        text = generate_report(samples=args.samples, n_requests=args.requests,
+                               streams=streams)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+
+    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Simulation kernel, queueing resources, and measurement methodology."""
+
+from .closedloop import ClosedLoopResult, simulate_closed_loop
+from .engine import Event, Process, Simulator, SimulationError, Timeout
+from .metrics import LatencyRecorder, P2Quantile, RunMetrics, ThroughputMeter
+from .resources import Resource, Store
+from .rng import RandomStreams
+from .sweep import SweepResult, find_max_sustainable_rate, rate_response_curve
+
+__all__ = [
+    "ClosedLoopResult",
+    "simulate_closed_loop",
+    "Event",
+    "Process",
+    "Simulator",
+    "SimulationError",
+    "Timeout",
+    "Resource",
+    "Store",
+    "RandomStreams",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "P2Quantile",
+    "RunMetrics",
+    "SweepResult",
+    "find_max_sustainable_rate",
+    "rate_response_curve",
+]

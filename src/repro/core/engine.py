@@ -1,0 +1,224 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event engine in the style of SimPy: processes are
+Python generators that yield :class:`Event` objects (timeouts, resource
+grants, store gets) and are resumed when those events fire.  Everything in
+the library — packet arrivals, CPU service, accelerator batches, power
+sensor sampling — runs on top of this kernel.
+
+Determinism: events scheduled for the same simulated time fire in FIFO
+order of scheduling (a monotonic sequence number breaks ties), so repeated
+runs with the same seeds produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (negative delays, double triggers...)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, is *triggered* with an optional value, and
+    then fires: every registered callback runs once, in registration order.
+    Waiting on an already-fired event resumes the waiter immediately (at the
+    current simulation time).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_state")
+
+    PENDING, TRIGGERED, FIRED = 0, 1, 2
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._state = Event.PENDING
+
+    @property
+    def triggered(self) -> bool:
+        return self._state != Event.PENDING
+
+    @property
+    def fired(self) -> bool:
+        return self._state == Event.FIRED
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Schedule this event to fire now (at the current sim time)."""
+        if self._state != Event.PENDING:
+            raise SimulationError("event triggered twice")
+        self._state = Event.TRIGGERED
+        self._value = value
+        self.sim._schedule_event(0.0, self)
+        return self
+
+    def _fire(self) -> None:
+        self._state = Event.FIRED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._state == Event.FIRED:
+            # Fire immediately but asynchronously, preserving ordering.
+            holder = Event(self.sim)
+            holder._value = self._value
+            holder.callbacks.append(callback)
+            holder._state = Event.TRIGGERED
+            self.sim._schedule_event(0.0, holder)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._state = Event.TRIGGERED
+        self._value = value
+        sim._schedule_event(delay, self)
+
+
+class Process(Event):
+    """Drives a generator; the process itself is an event that fires when
+    the generator returns (with the generator's return value)."""
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off on the next kernel step at the current time.
+        starter = Event(sim)
+        starter.callbacks.append(self._resume)
+        starter._state = Event.TRIGGERED
+        sim._schedule_event(0.0, starter)
+
+    def _resume(self, event: Event) -> None:
+        if self._state != Event.PENDING:
+            return  # interrupted while waiting; drop stale wakeups
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+        target.add_callback(self._resume)
+
+    def interrupt(self) -> None:
+        """Stop the process; its event fires with value None."""
+        if self._state == Event.PENDING:
+            self._generator.close()
+            self.trigger(None)
+
+
+class Simulator:
+    """The event loop: a time-ordered queue of triggered events."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def _schedule_event(self, delay: float, event: Event) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+
+    # -- public API ---------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a concurrently running process."""
+        return Process(self, generator, name)
+
+    def step(self) -> bool:
+        """Fire the next event; return False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError("time went backwards")
+        self._now = time
+        event._fire()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(f"run(until={until}) is in the past")
+        while self._queue:
+            time, _, _ = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def any_of(self, events: List[Event]) -> Event:
+        """Event that fires when the first of ``events`` fires."""
+        combined = self.event()
+
+        def _on_fire(event: Event) -> None:
+            if not combined.triggered:
+                combined.trigger(event.value)
+
+        for event in events:
+            event.add_callback(_on_fire)
+        return combined
+
+    def all_of(self, events: List[Event]) -> Event:
+        """Event that fires (with a list of values) when all fire."""
+        combined = self.event()
+        remaining = [len(events)]
+        values: List[Any] = [None] * len(events)
+        if not events:
+            combined.trigger([])
+            return combined
+
+        def _make(index: int) -> Callable[[Event], None]:
+            def _on_fire(event: Event) -> None:
+                values[index] = event.value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    combined.trigger(list(values))
+
+            return _on_fire
+
+        for index, event in enumerate(events):
+            event.add_callback(_make(index))
+        return combined

@@ -1,0 +1,207 @@
+"""Measurement instruments for simulated experiments.
+
+The paper's methodology is: drive a function at a fixed offered rate, then
+report the sustained throughput and the p99 of per-request latency at that
+rate.  These classes implement that methodology, including warmup trimming
+(the paper discards ramp-up) and streaming quantile estimation for long
+runs where storing every sample would be wasteful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class LatencyRecorder:
+    """Collects per-request latency samples after a warmup boundary."""
+
+    def __init__(self, warmup_until: float = 0.0):
+        self.warmup_until = warmup_until
+        self._samples: List[float] = []
+        self._dropped_warmup = 0
+
+    def record(self, completion_time: float, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        if completion_time < self.warmup_until:
+            self._dropped_warmup += 1
+            return
+        self._samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def warmup_count(self) -> int:
+        return self._dropped_warmup
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]; returns +inf when no samples were kept."""
+        if not self._samples:
+            return float("inf")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return float("inf")
+        return float(np.mean(self._samples))
+
+    def max(self) -> float:
+        if not self._samples:
+            return float("inf")
+        return float(np.max(self._samples))
+
+
+class ThroughputMeter:
+    """Counts completed requests/bytes inside the measurement window."""
+
+    def __init__(self, warmup_until: float = 0.0):
+        self.warmup_until = warmup_until
+        self.requests = 0
+        self.bytes = 0
+        self.first_completion: Optional[float] = None
+        self.last_completion: Optional[float] = None
+
+    def record(self, completion_time: float, nbytes: int = 0) -> None:
+        if completion_time < self.warmup_until:
+            return
+        self.requests += 1
+        self.bytes += nbytes
+        if self.first_completion is None:
+            self.first_completion = completion_time
+        self.last_completion = completion_time
+
+    def request_rate(self, window: float) -> float:
+        """Completed requests per second over an explicit window length."""
+        if window <= 0:
+            return 0.0
+        return self.requests / window
+
+    def byte_rate(self, window: float) -> float:
+        if window <= 0:
+            return 0.0
+        return self.bytes / window
+
+    def gbps(self, window: float) -> float:
+        return self.byte_rate(window) * 8 / 1e9
+
+
+class P2Quantile:
+    """The P-squared streaming quantile estimator (Jain & Chlamtac 1985).
+
+    Used for very long power-trace runs; bounded memory, no sample storage.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = q
+        self._initial: List[float] = []
+        self._n: List[int] = []
+        self._np: List[float] = []
+        self._heights: List[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._n = [1, 2, 3, 4, 5]
+                q = self.q
+                self._np = [1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5]
+            return
+        heights, n = self._heights, self._n
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 4):
+                if value < heights[i]:
+                    k = i - 1
+                    break
+            else:
+                k = 3
+        for i in range(k + 1, 5):
+            n[i] += 1
+        q = self.q
+        increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+        for i in range(5):
+            self._np[i] += increments[i]
+        for i in range(1, 4):
+            d = self._np[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or (d <= -1 and n[i - 1] - n[i] < -1):
+                sign = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, sign)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, sign)
+                n[i] += sign
+
+    def _parabolic(self, i: int, sign: int) -> float:
+        n, h = self._n, self._heights
+        return h[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, sign: int) -> float:
+        n, h = self._n, self._heights
+        return h[i] + sign * (h[i + sign] - h[i]) / (n[i + sign] - n[i])
+
+    def value(self) -> float:
+        if self.count == 0:
+            return float("nan")
+        if len(self._initial) < 5 or not self._heights:
+            data = sorted(self._initial)
+            index = min(len(data) - 1, int(math.ceil(self.q * len(data))) - 1)
+            return data[max(index, 0)]
+        return self._heights[2]
+
+
+@dataclass
+class RunMetrics:
+    """Everything one fixed-rate run produces.
+
+    Latencies are seconds; throughput fields are per second over the
+    measurement window.
+    """
+
+    offered_rate: float
+    duration: float
+    completed: int
+    completed_rate: float
+    goodput_gbps: float
+    latency_p50: float
+    latency_p99: float
+    latency_mean: float
+    dropped: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sustained(self) -> bool:
+        """Did the system keep up with the offered load (within 2 %)?"""
+        if self.offered_rate <= 0:
+            return True
+        return self.completed_rate >= 0.98 * self.offered_rate
+
+    def latency_p99_us(self) -> float:
+        return self.latency_p99 / 1e-6

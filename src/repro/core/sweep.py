@@ -1,0 +1,112 @@
+"""Maximum-sustainable-throughput search.
+
+The paper reports, per function and platform, "the packet rate at which we
+get the maximum throughput" and "the p99 latency at that rate" (§4).  This
+module implements that procedure against any ``run_at(rate) -> RunMetrics``
+callable: a coarse geometric scan brackets the saturation point, then a
+binary search refines it, and the metrics of the highest sustained rate are
+returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .metrics import RunMetrics
+
+RunFn = Callable[[float], RunMetrics]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a max-throughput search."""
+
+    max_rate: float
+    metrics: RunMetrics
+    probes: List[RunMetrics] = field(default_factory=list)
+
+    @property
+    def p99(self) -> float:
+        return self.metrics.latency_p99
+
+    @property
+    def goodput_gbps(self) -> float:
+        return self.metrics.goodput_gbps
+
+
+def _acceptable(metrics: RunMetrics, slo_p99: Optional[float]) -> bool:
+    if not metrics.sustained:
+        return False
+    if slo_p99 is not None and metrics.latency_p99 > slo_p99:
+        return False
+    return True
+
+
+def find_max_sustainable_rate(
+    run_at: RunFn,
+    low_rate: float,
+    high_rate: float,
+    slo_p99: Optional[float] = None,
+    tolerance: float = 0.02,
+    max_probes: int = 40,
+) -> SweepResult:
+    """Search [low_rate, high_rate] for the highest acceptable offered rate.
+
+    ``slo_p99`` (seconds) optionally bounds the p99 at the chosen point —
+    this is how SLO-constrained operating points are located.  ``tolerance``
+    is the relative width at which bisection stops.
+    """
+    if low_rate <= 0 or high_rate <= low_rate:
+        raise ValueError("need 0 < low_rate < high_rate")
+
+    probes: List[RunMetrics] = []
+
+    def probe(rate: float) -> RunMetrics:
+        metrics = run_at(rate)
+        probes.append(metrics)
+        return metrics
+
+    best: Optional[RunMetrics] = None
+
+    low_metrics = probe(low_rate)
+    if not _acceptable(low_metrics, slo_p99):
+        # Even the floor rate violates: report the floor as the max point.
+        return SweepResult(max_rate=low_rate, metrics=low_metrics, probes=probes)
+    best = low_metrics
+
+    # Geometric ramp until the first unacceptable rate or the ceiling.
+    lo, hi = low_rate, None
+    rate = low_rate
+    while len(probes) < max_probes:
+        rate = min(rate * 2.0, high_rate)
+        metrics = probe(rate)
+        if _acceptable(metrics, slo_p99):
+            best, lo = metrics, rate
+            if rate >= high_rate:
+                return SweepResult(max_rate=rate, metrics=metrics, probes=probes)
+        else:
+            hi = rate
+            break
+
+    if hi is None:  # probe budget exhausted while still sustaining
+        return SweepResult(max_rate=lo, metrics=best, probes=probes)
+
+    # Bisection between last-good and first-bad.
+    while hi - lo > tolerance * hi and len(probes) < max_probes:
+        mid = (lo + hi) / 2.0
+        metrics = probe(mid)
+        if _acceptable(metrics, slo_p99):
+            best, lo = metrics, mid
+        else:
+            hi = mid
+
+    return SweepResult(max_rate=lo, metrics=best, probes=probes)
+
+
+def rate_response_curve(
+    run_at: RunFn,
+    rates: List[float],
+) -> Dict[float, RunMetrics]:
+    """Measure a fixed ladder of offered rates (used for Fig. 5 style plots)."""
+    return {rate: run_at(rate) for rate in rates}

@@ -1,0 +1,130 @@
+"""Figure 4: maximum sustainable throughput and p99 latency of the SNIC
+processor, normalized to the host CPU, across all 13 functions.
+
+Each row measures both platforms at their own saturation knees (the
+paper's methodology, §4) and reports the SNIC/host ratios.  Functions
+with an accelerator path (Table 3 column SA) use the accelerator as
+their SNIC execution platform; the rest use the SNIC CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.rng import RandomStreams
+from .measurement import ACCEL_PLATFORM, OperatingPoint, measure_operating_point
+from .profiles import ALL_PROFILE_KEYS, FunctionProfile, get_profile
+
+# Display order mirrors the paper's x-axis: microbenchmarks, software-only
+# functions, then hardware-accelerated functions.
+FIG4_KEYS = (
+    "udp:64",
+    "udp:1024",
+    "dpdk:64",
+    "dpdk:1024",
+    "rdma:1024",
+    "redis:a",
+    "redis:b",
+    "redis:c",
+    "snort:file_image",
+    "snort:file_flash",
+    "snort:file_executable",
+    "nat:10k",
+    "nat:1m",
+    "bm25:100",
+    "bm25:1k",
+    "mica:4",
+    "mica:32",
+    "fio:read",
+    "fio:write",
+    "ovs:10",
+    "ovs:100",
+    "crypto:aes",
+    "crypto:rsa",
+    "crypto:sha1",
+    "rem:file_image",
+    "rem:file_flash",
+    "rem:file_executable",
+    "compression:app",
+    "compression:txt",
+)
+
+
+def snic_platform_for(profile: FunctionProfile) -> str:
+    """The SNIC execution platform per Table 3 (accelerator if present)."""
+    return ACCEL_PLATFORM if ACCEL_PLATFORM in profile.platforms else "snic-cpu"
+
+
+@dataclass
+class Fig4Row:
+    key: str
+    display: str
+    category: str
+    host: OperatingPoint
+    snic: OperatingPoint
+
+    @property
+    def snic_platform(self) -> str:
+        return self.snic.platform
+
+    @property
+    def throughput_ratio(self) -> float:
+        if self.host.throughput_rps <= 0:
+            return float("inf")
+        return self.snic.throughput_rps / self.host.throughput_rps
+
+    @property
+    def p99_ratio(self) -> float:
+        if self.host.p99_latency_s <= 0:
+            return float("inf")
+        return self.snic.p99_latency_s / self.host.p99_latency_s
+
+
+def run_fig4(
+    keys: Sequence[str] = FIG4_KEYS,
+    samples: int = 300,
+    n_requests: int = 20_000,
+    streams: Optional[RandomStreams] = None,
+) -> List[Fig4Row]:
+    """Measure every function on both platforms; returns the figure rows."""
+    streams = streams or RandomStreams()
+    rows: List[Fig4Row] = []
+    for key in keys:
+        profile = get_profile(key, samples=samples)
+        host = measure_operating_point(profile, "host", streams, n_requests)
+        snic = measure_operating_point(
+            profile, snic_platform_for(profile), streams, n_requests
+        )
+        rows.append(
+            Fig4Row(
+                key=key,
+                display=profile.display,
+                category=profile.category,
+                host=host,
+                snic=snic,
+            )
+        )
+    return rows
+
+
+def rows_by_key(rows: List[Fig4Row]) -> Dict[str, Fig4Row]:
+    return {row.key: row for row in rows}
+
+
+def format_fig4(rows: List[Fig4Row]) -> str:
+    """Render the figure as an aligned text table."""
+    lines = [
+        f"{'function':<24} {'plat':<10} {'host rps':>12} {'snic rps':>12} "
+        f"{'T ratio':>8} {'host p99us':>11} {'snic p99us':>11} {'L ratio':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.display:<24} {row.snic_platform:<10} "
+            f"{row.host.throughput_rps:>12,.0f} {row.snic.throughput_rps:>12,.0f} "
+            f"{row.throughput_ratio:>8.2f} "
+            f"{row.host.p99_latency_s * 1e6:>11.1f} "
+            f"{row.snic.p99_latency_s * 1e6:>11.1f} "
+            f"{row.p99_ratio:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Figure 5: REM throughput and p99 latency versus offered packet rate.
+
+MTU-size packets; the host software matcher at 1, 4, and 8 cores, and the
+SNIC REM accelerator, for the file_image and file_executable rule sets.
+This is where Key Observation 3 (the accelerator's ~50 Gbps cap) and the
+host's rule-set-dependent latency wall (file_image's p99 explodes past
+~40 Gbps, Key Observation 4) come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.rng import RandomStreams
+from ..core.units import gbps_to_bytes_per_second
+from .measurement import ACCEL_PLATFORM, run_fixed_rate
+from .profiles import FunctionProfile, get_profile
+
+DEFAULT_RATES_GBPS = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100)
+HOST_CORE_COUNTS = (1, 4, 8)
+
+
+@dataclass
+class Fig5Point:
+    offered_gbps: float
+    achieved_gbps: float
+    p99_latency_s: float
+    saturated: bool
+
+
+@dataclass
+class Fig5Series:
+    label: str
+    ruleset: str
+    platform: str
+    cores: Optional[int]
+    points: List[Fig5Point] = field(default_factory=list)
+
+    def max_achieved_gbps(self) -> float:
+        return max((p.achieved_gbps for p in self.points), default=0.0)
+
+    def p99_at_max(self) -> float:
+        best = max(self.points, key=lambda p: p.achieved_gbps)
+        return best.p99_latency_s
+
+    def knee_gbps(self, p99_wall_s: float = 100e-6) -> float:
+        """Highest offered rate whose p99 stays under the wall."""
+        good = [p.offered_gbps for p in self.points if p.p99_latency_s <= p99_wall_s]
+        return max(good, default=0.0)
+
+
+def _rate_for_gbps(profile: FunctionProfile, gbps: float) -> float:
+    return gbps_to_bytes_per_second(gbps) / profile.wire_bytes
+
+
+def measure_series(
+    profile: FunctionProfile,
+    platform: str,
+    label: str,
+    rates_gbps: Sequence[float],
+    streams: RandomStreams,
+    cores: Optional[int] = None,
+    n_requests: int = 12_000,
+) -> Fig5Series:
+    if cores is not None:
+        profile = replace(profile, cores={**profile.cores, platform: cores})
+    series = Fig5Series(
+        label=label, ruleset=profile.key, platform=platform, cores=cores
+    )
+    for gbps in rates_gbps:
+        rate = _rate_for_gbps(profile, float(gbps))
+        metrics = run_fixed_rate(profile, platform, rate, streams, n_requests)
+        series.points.append(
+            Fig5Point(
+                offered_gbps=float(gbps),
+                achieved_gbps=metrics.goodput_gbps,
+                p99_latency_s=metrics.latency_p99,
+                saturated=not metrics.sustained,
+            )
+        )
+    return series
+
+
+def run_fig5(
+    rulesets: Sequence[str] = ("file_image", "file_executable"),
+    rates_gbps: Sequence[float] = DEFAULT_RATES_GBPS,
+    samples: int = 200,
+    n_requests: int = 12_000,
+    streams: Optional[RandomStreams] = None,
+) -> Dict[str, List[Fig5Series]]:
+    """All Fig. 5 curves, keyed by rule set."""
+    streams = streams or RandomStreams()
+    figure: Dict[str, List[Fig5Series]] = {}
+    for ruleset in rulesets:
+        profile = get_profile(f"rem:{ruleset}@mtu", samples=samples)
+        curves = [
+            measure_series(
+                profile, "host", f"host-{cores}c", rates_gbps, streams,
+                cores=cores, n_requests=n_requests,
+            )
+            for cores in HOST_CORE_COUNTS
+        ]
+        curves.append(
+            measure_series(
+                profile, ACCEL_PLATFORM, "snic-accel", rates_gbps, streams,
+                n_requests=n_requests,
+            )
+        )
+        figure[ruleset] = curves
+    return figure
+
+
+def format_fig5(figure: Dict[str, List[Fig5Series]]) -> str:
+    lines = []
+    for ruleset, curves in figure.items():
+        lines.append(f"== {ruleset} ==")
+        header = "offered_gbps " + " ".join(f"{c.label:>22}" for c in curves)
+        lines.append(header + "   (achieved_gbps / p99_us)")
+        for index, point in enumerate(curves[0].points):
+            cells = []
+            for curve in curves:
+                p = curve.points[index]
+                cells.append(f"{p.achieved_gbps:>10.1f}/{p.p99_latency_s*1e6:>9.1f}")
+            lines.append(f"{point.offered_gbps:>12.0f} " + " ".join(c for c in cells))
+    return "\n".join(lines)

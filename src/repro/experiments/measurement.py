@@ -1,0 +1,352 @@
+"""The measurement methodology of §4.
+
+For each (function, platform) pair the paper (1) finds the packet rate at
+which throughput saturates, (2) reports the throughput there and the p99
+latency measured at that operating point, and (3) measures average wall
+power at the same point.  This module reproduces that procedure against
+the calibrated platform models:
+
+* CPU platforms (host / SNIC CPU) serve requests on RSS-sharded cores;
+  per-request service time = stack cycles + priced work units; latency =
+  queueing sojourn + the stack's fixed RTT floor.
+* The accelerator platform serves requests through a batch engine with a
+  throughput cap (Key Observation 3), staged by SNIC CPU cores over DPDK.
+* The NIC line rate bounds every networked function.
+
+Power at the operating point comes from the component power model, with
+poll-mode spin accounting (a DPDK core burns power even when idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..calibration import (
+    ACCELERATORS,
+    LINE_RATE_GBPS,
+    PLATFORMS,
+    POWER,
+    base_rtt_sampler,
+)
+from ..core.metrics import RunMetrics
+from ..core.queueing import (
+    outcome_to_metrics,
+    simulate_batch_server,
+    simulate_sharded,
+)
+from ..core.rng import RandomStreams
+from ..core.sweep import SweepResult, find_max_sustainable_rate
+from ..core.units import gbps_to_bytes_per_second
+from ..power.energy import EnergyReport
+from ..power.models import ComponentLoad, ServerPowerModel, SnicPowerModel
+from .profiles import FunctionProfile
+
+ACCEL_PLATFORM = "snic-accel"
+CPU_PLATFORMS = ("host", "snic-cpu")
+BATCH_TIMEOUT_S = 15e-6
+QUEUE_LIMIT_S = 2e-3  # socket/ring buffering bound: overload becomes loss
+# Buffers always hold at least a few tens of requests, so the backlog
+# bound never drops below this many mean service times.
+QUEUE_LIMIT_SERVICES = 8.0
+
+
+class MeasurementError(RuntimeError):
+    pass
+
+
+@dataclass
+class OperatingPoint:
+    """One platform's Fig. 4 data point, with the Fig. 6 power numbers."""
+
+    profile_key: str
+    platform: str
+    capacity_rps: float
+    metrics: RunMetrics
+    load: ComponentLoad
+    server_power_w: float
+    device_power_w: float  # the (S)NIC alone
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.metrics.completed_rate
+
+    @property
+    def goodput_gbps(self) -> float:
+        return self.metrics.goodput_gbps
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.metrics.latency_p99
+
+    @property
+    def energy_efficiency(self) -> float:
+        if self.server_power_w <= 0:
+            return 0.0
+        return self.goodput_gbps / self.server_power_w
+
+    def energy_report(self, label: str = "") -> EnergyReport:
+        return EnergyReport(
+            label=label or f"{self.profile_key}@{self.platform}",
+            throughput=self.goodput_gbps,
+            total_power_w=self.server_power_w,
+            device_power_w=self.device_power_w,
+            idle_power_w=POWER.server_idle_w,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Service samplers
+# ---------------------------------------------------------------------------
+
+
+def cpu_service_seconds(profile: FunctionProfile, platform: str) -> np.ndarray:
+    """Per-request service times (seconds) for a CPU platform."""
+    calibration = PLATFORMS[platform]
+    work_seconds = np.array(
+        [calibration.work_seconds(sample) for sample in profile.work_samples]
+    )
+    if profile.stack is not None and profile.stack_packets > 0:
+        per_packet = calibration.stack_seconds(profile.stack, int(profile.wire_bytes))
+        work_seconds = work_seconds + per_packet * profile.stack_packets
+    return work_seconds
+
+
+def cpu_cores(profile: FunctionProfile, platform: str) -> int:
+    return profile.cores.get(platform, PLATFORMS[platform].cores)
+
+
+def _nic_cap_rps(profile: FunctionProfile) -> float:
+    if profile.stack is None:
+        return float("inf")
+    return gbps_to_bytes_per_second(LINE_RATE_GBPS) / profile.wire_bytes
+
+
+def accel_per_item_seconds(profile: FunctionProfile) -> float:
+    engine = ACCELERATORS[profile.accel_engine]
+    if profile.accel_op_based:
+        return 1.0 / engine.ops_per_s[profile.accel_mode]
+    return profile.payload_bytes / engine.bytes_per_s[profile.accel_mode]
+
+
+# ---------------------------------------------------------------------------
+# Fixed-rate runs
+# ---------------------------------------------------------------------------
+
+
+def run_fixed_rate(
+    profile: FunctionProfile,
+    platform: str,
+    rate: float,
+    streams: RandomStreams,
+    n_requests: int = 20_000,
+) -> RunMetrics:
+    """Offer ``rate`` requests/s and measure (the inner loop of a sweep)."""
+    if platform == ACCEL_PLATFORM:
+        return _run_accelerator(profile, rate, streams, n_requests)
+    if platform not in CPU_PLATFORMS:
+        raise MeasurementError(f"unknown platform {platform!r}")
+    if platform not in profile.platforms:
+        raise MeasurementError(f"{profile.key} does not run on {platform}")
+
+    rng = streams.stream(f"{profile.key}:{platform}:{rate:.6g}")
+    calibration = PLATFORMS[platform]
+    services = cpu_service_seconds(profile, platform)
+    cores = cpu_cores(profile, platform)
+    nic_cap = _nic_cap_rps(profile)
+    effective_rate = min(rate, nic_cap)
+    queue_limit = QUEUE_LIMIT_S
+    if profile.stack is not None:
+        queue_limit = calibration.stacks[profile.stack].queue_limit_s
+    queue_limit = max(queue_limit, QUEUE_LIMIT_SERVICES * float(np.mean(services)))
+
+    def sampler(sampler_rng: np.random.Generator, n: int) -> np.ndarray:
+        return sampler_rng.choice(services, size=n)
+
+    outcome = simulate_sharded(
+        effective_rate, cores, sampler, n_requests, rng, queue_limit=queue_limit
+    )
+    outcome = _add_fixed_latency(outcome, profile, platform, rng)
+    metrics = outcome_to_metrics(
+        outcome, offered_rate=rate, bytes_per_request=profile.wire_bytes, cores=cores
+    )
+    if rate > nic_cap:
+        # Wire-rate clipping: the excess never reaches the server.
+        metrics.completed_rate = min(metrics.completed_rate, nic_cap)
+        metrics.dropped += int((rate - nic_cap) / rate * n_requests)
+    return metrics
+
+
+def _add_fixed_latency(outcome, profile, platform, rng):
+    n = len(outcome.sojourns)
+    if n == 0:
+        return outcome
+    extra = np.zeros(n)
+    stack = profile.stack
+    if platform == ACCEL_PLATFORM:
+        stack = profile.accel_staging_stack or profile.stack
+    if stack is not None:
+        calibration = PLATFORMS[platform] if platform != ACCEL_PLATFORM else PLATFORMS["snic-cpu"]
+        cost = calibration.stacks[stack]
+        extra = extra + base_rtt_sampler(cost)(rng, n)
+    adder = profile.latency_extra.get(platform, 0.0)
+    outcome.sojourns = outcome.sojourns + extra + adder
+    return outcome
+
+
+def _run_accelerator(
+    profile: FunctionProfile,
+    rate: float,
+    streams: RandomStreams,
+    n_requests: int,
+) -> RunMetrics:
+    if profile.accel_engine is None:
+        raise MeasurementError(f"{profile.key} has no accelerator path")
+    rng = streams.stream(f"{profile.key}:accel:{rate:.6g}")
+    engine = ACCELERATORS[profile.accel_engine]
+    per_item = accel_per_item_seconds(profile)
+
+    # Staging: SNIC CPU cores feed the engine over DPDK (§3.4).  They cap
+    # the submission rate but their per-packet time is tiny.
+    staging_cap = float("inf")
+    staging_stack = profile.accel_staging_stack or profile.stack
+    if staging_stack is not None:
+        snic = PLATFORMS["snic-cpu"]
+        staging_per_packet = snic.stack_seconds(staging_stack, int(profile.wire_bytes))
+        staging_cap = engine.staging_cores / staging_per_packet
+    nic_cap = _nic_cap_rps(profile)
+    effective_rate = min(rate, staging_cap, nic_cap)
+
+    outcome = simulate_batch_server(
+        effective_rate,
+        n_requests,
+        rng,
+        batch_size=engine.max_batch,
+        batch_timeout=BATCH_TIMEOUT_S,
+        setup_time=engine.setup_latency_s,
+        per_item_time=per_item,
+    )
+    outcome = _add_fixed_latency(outcome, profile, ACCEL_PLATFORM, rng)
+    metrics = outcome_to_metrics(
+        outcome, offered_rate=rate, bytes_per_request=profile.wire_bytes
+    )
+    cap = min(staging_cap, nic_cap)
+    if rate > cap:
+        metrics.completed_rate = min(metrics.completed_rate, cap)
+        metrics.dropped += int((rate - cap) / rate * n_requests)
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Operating points (capacity search + measurement at the knee)
+# ---------------------------------------------------------------------------
+
+
+def estimate_capacity_rps(profile: FunctionProfile, platform: str) -> float:
+    """Analytic first guess used to bracket the sweep."""
+    if platform == ACCEL_PLATFORM:
+        per_item = accel_per_item_seconds(profile)
+        amortized = ACCELERATORS[profile.accel_engine].setup_latency_s / max(
+            ACCELERATORS[profile.accel_engine].max_batch, 1
+        )
+        return 1.0 / (per_item + amortized)
+    services = cpu_service_seconds(profile, platform)
+    mean_service = float(np.mean(services))
+    if mean_service <= 0:
+        raise MeasurementError(f"degenerate service time for {profile.key}")
+    return cpu_cores(profile, platform) / mean_service
+
+
+def measure_operating_point(
+    profile: FunctionProfile,
+    platform: str,
+    streams: Optional[RandomStreams] = None,
+    n_requests: int = 20_000,
+    load_fraction: float = 0.95,
+    slo_p99: Optional[float] = None,
+) -> OperatingPoint:
+    """Find the saturation knee, then measure at ``load_fraction`` of it.
+
+    The knee is located with a deterministic geometric rate ladder around
+    the analytic capacity estimate: capacity is the largest offered rate
+    the system still serves with <=5 % loss (losses come from the stack's
+    bounded buffers), which matches the paper's "maximum sustainable
+    throughput".  An optional ``slo_p99`` additionally bounds the knee.
+    """
+    streams = streams or RandomStreams()
+    if profile.load_fraction_override is not None:
+        load_fraction = profile.load_fraction_override
+    estimate = estimate_capacity_rps(profile, platform)
+    nic_cap = _nic_cap_rps(profile)
+    anchor = min(estimate, nic_cap)
+
+    ladder = anchor * np.geomspace(0.3, 1.45, 12)
+    knee_rate = ladder[0]
+    knee_metrics: Optional[RunMetrics] = None
+    best_completed = 0.0
+    for rate in ladder:
+        metrics = run_fixed_rate(profile, platform, float(rate), streams, n_requests)
+        served_fraction = (
+            metrics.completed_rate / rate if rate > 0 else 1.0
+        )
+        acceptable = served_fraction >= 0.95
+        if slo_p99 is not None and metrics.latency_p99 > slo_p99:
+            acceptable = False
+        if acceptable and metrics.completed_rate >= best_completed:
+            best_completed = metrics.completed_rate
+            knee_rate = float(rate)
+            knee_metrics = metrics
+    if knee_metrics is None:  # even the lowest rung overloads
+        knee_rate = float(ladder[0])
+
+    operating_rate = knee_rate * load_fraction
+    metrics = run_fixed_rate(profile, platform, operating_rate, streams, n_requests)
+    load = component_load(profile, platform, metrics.completed_rate)
+    extra_w = profile.power_extra_w.get(platform, 0.0)
+    return OperatingPoint(
+        profile_key=profile.key,
+        platform=platform,
+        capacity_rps=knee_rate,
+        metrics=metrics,
+        load=load,
+        server_power_w=ServerPowerModel().power(load) + extra_w,
+        device_power_w=SnicPowerModel().power(load),
+    )
+
+
+def component_load(
+    profile: FunctionProfile, platform: str, completed_rate: float
+) -> ComponentLoad:
+    """Average component utilization while serving at ``completed_rate``."""
+    if platform == ACCEL_PLATFORM:
+        per_item = accel_per_item_seconds(profile)
+        utilization = min(completed_rate * per_item, 1.0)
+        engine = ACCELERATORS[profile.accel_engine]
+        staging_util = 0.0
+        staging_stack = profile.accel_staging_stack or profile.stack
+        if staging_stack is not None:
+            snic = PLATFORMS["snic-cpu"]
+            staging_per_packet = snic.stack_seconds(
+                staging_stack, int(profile.wire_bytes)
+            )
+            staging_util = min(
+                completed_rate * staging_per_packet / engine.staging_cores, 1.0
+            )
+        spin = POWER.dpdk_spin_fraction if profile.stack == "dpdk" else 0.0
+        staging_busy = engine.staging_cores * (spin + (1 - spin) * staging_util)
+        return ComponentLoad(
+            snic_busy_cores=staging_busy,
+            accel_utilization={profile.accel_engine: utilization},
+            accel_engaged=frozenset({profile.accel_engine}),
+        )
+
+    services = cpu_service_seconds(profile, platform)
+    cores = cpu_cores(profile, platform)
+    utilization = min(completed_rate * float(np.mean(services)) / cores, 1.0)
+    spin = POWER.dpdk_spin_fraction if profile.stack == "dpdk" else 0.0
+    busy = cores * (spin + (1 - spin) * utilization)
+    if platform == "host":
+        return ComponentLoad(host_busy_cores=busy * profile.host_power_scale)
+    return ComponentLoad(snic_busy_cores=busy)

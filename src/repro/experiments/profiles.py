@@ -1,0 +1,648 @@
+"""Function profiles: empirical work-unit distributions per benchmark.
+
+Each of the paper's 13 functions (Table 3 + the three microbenchmarks) is
+profiled by *actually running* its implementation over representative
+inputs — the regex engine scans real payloads, DEFLATE compresses real
+file chunks, the KV stores execute real YCSB operations — and recording a
+:class:`~repro.core.work.WorkUnits` sample per request.  The measurement
+layer then prices those samples on each platform and queues them.
+
+Profiles are cached per (key, samples) because building one may involve
+thousands of real function executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.work import WorkUnits
+from ..functions import bm25 as bm25_mod
+from ..functions import mica as mica_mod
+from ..functions import nat as nat_mod
+from ..functions import ovs as ovs_mod
+from ..functions.compression import deflate
+from ..functions.crypto import aes as aes_mod
+from ..functions.crypto import rsa as rsa_mod
+from ..functions.crypto import sha1 as sha1_mod
+from ..functions.kvstore import KeyValueStore, encode_command
+from ..functions.regex.rulesets import compile_ruleset, load_ruleset
+from ..functions.storage import FioEngine, FioJobSpec, IoKind, NvmeOfTarget, RamDisk
+from ..workloads import corpus as corpus_mod
+from ..workloads import pktgen, ycsb
+
+HEADER_BYTES = 14 + 20 + 8  # ethernet + ip + udp (tcp adds 12 more)
+
+
+@dataclass
+class FunctionProfile:
+    """Everything the measurement layer needs to run one benchmark config."""
+
+    key: str
+    display: str
+    category: str  # "micro" | "software" | "hardware"
+    stack: Optional[str]  # "udp" | "tcp" | "dpdk" | "rdma" | None (local)
+    platforms: Tuple[str, ...]
+    wire_bytes: float  # mean wire bytes per request (goodput accounting)
+    payload_bytes: float  # mean payload bytes per request (accel rates)
+    work_samples: List[WorkUnits]
+    stack_packets: float = 2.0  # packets the server stack handles per request
+    # accelerator execution (REM / compression / crypto)
+    accel_engine: Optional[str] = None
+    accel_mode: Optional[str] = None
+    accel_op_based: bool = False
+    # engines are fed by poll-mode staging cores even when the CPU-only
+    # deployment of the same function uses a kernel stack (IPsec)
+    accel_staging_stack: Optional[str] = None
+    # per-platform core counts (default: all 8)
+    cores: Dict[str, int] = field(default_factory=dict)
+    # per-platform fixed latency adders (e.g. fio's device path asymmetry)
+    latency_extra: Dict[str, float] = field(default_factory=dict)
+    # operate at a fixed fraction of capacity instead of the default knee
+    # (OvS is evaluated at 10 % and 100 % of the line rate, §3.4)
+    load_fraction_override: Optional[float] = None
+    # scale on host active power (memory-bound vector code stalls cores:
+    # ISA-L compression draws well below per-core kernel-path power)
+    host_power_scale: float = 1.0
+    # residual I/O-subsystem power (DMA, uncore, PCIe) per platform,
+    # calibrated from the paper's Table 5 wall-power measurements
+    power_extra_w: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def mean_work(self) -> WorkUnits:
+        total = WorkUnits()
+        for sample in self.work_samples:
+            total.merge(sample)
+        return total.scaled(1.0 / max(len(self.work_samples), 1))
+
+
+def _rng(key: str) -> np.random.Generator:
+    seeds = {"profile": 0xACE5}
+    mixed = 0xACE5
+    for ch in key:
+        mixed = (mixed * 131 + ord(ch)) & 0x7FFFFFFF
+    return np.random.default_rng(mixed)
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmarks (§3.3)
+# ---------------------------------------------------------------------------
+
+
+def _profile_udp(packet_bytes: int, samples: int) -> FunctionProfile:
+    return FunctionProfile(
+        key=f"udp:{packet_bytes}",
+        display=f"UDP {packet_bytes} B",
+        category="micro",
+        stack="udp",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=packet_bytes + HEADER_BYTES,
+        payload_bytes=packet_bytes,
+        work_samples=[WorkUnits()],
+        stack_packets=2.0,  # echo: receive + transmit
+        notes="8-core UDP echo client/server (§3.3)",
+    )
+
+
+def _profile_dpdk(packet_bytes: int, samples: int) -> FunctionProfile:
+    return FunctionProfile(
+        key=f"dpdk:{packet_bytes}",
+        display=f"DPDK {packet_bytes} B",
+        category="micro",
+        stack="dpdk",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=packet_bytes + HEADER_BYTES,
+        payload_bytes=packet_bytes,
+        work_samples=[WorkUnits()],
+        stack_packets=1.0,  # forwarding: the rx+tx pair is in the PMD cost
+        cores={"host": 1, "snic-cpu": 1},  # single-core ping-pong (§3.3)
+        notes="single-core DPDK ping-pong / pktgen (§3.3)",
+    )
+
+
+def _profile_rdma(packet_bytes: int, samples: int) -> FunctionProfile:
+    return FunctionProfile(
+        key=f"rdma:{packet_bytes}",
+        display=f"RDMA {packet_bytes} B",
+        category="micro",
+        stack="rdma",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=packet_bytes + 58,  # RoCEv2 encapsulation
+        payload_bytes=packet_bytes,
+        work_samples=[WorkUnits()],
+        stack_packets=2.0,
+        cores={"host": 1, "snic-cpu": 1},  # perftest uses one core (§3.3)
+        notes="single-core perftest RC read/write (§3.3)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# TCP/UDP benchmarks (§3.4)
+# ---------------------------------------------------------------------------
+
+
+def _profile_redis(workload: str, samples: int) -> FunctionProfile:
+    spec = ycsb.WORKLOADS[workload]
+    rng = _rng(f"redis:{workload}")
+    store = KeyValueStore()
+    for operation in ycsb.load_phase(spec, rng):
+        store.set(operation.key, operation.value)
+    work_samples: List[WorkUnits] = []
+    wire_total = 0.0
+    operations = list(ycsb.run_phase(spec, rng))[:samples]
+    for operation in operations:
+        if operation.kind == "read":
+            command = encode_command(b"GET", operation.key)
+        else:
+            command = encode_command(b"SET", operation.key, operation.value)
+        response, work = store.execute(command)
+        work_samples.append(work)
+        wire_total += len(command) + len(response) + 2 * (HEADER_BYTES + 12)
+    return FunctionProfile(
+        key=f"redis:{workload}",
+        display=f"Redis YCSB-{workload.upper()}",
+        category="software",
+        stack="tcp",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=wire_total / max(len(operations), 1),
+        payload_bytes=spec.value_bytes,
+        work_samples=work_samples,
+        stack_packets=2.0,
+        notes="30K x 1KB records, 10K ops (§3.4)",
+    )
+
+
+def _profile_snort(ruleset: str, samples: int) -> FunctionProfile:
+    from ..functions.snort import IntrusionDetector, PacketMeta
+
+    rng = _rng(f"snort:{ruleset}")
+    detector = IntrusionDetector.from_named_ruleset(ruleset)
+    fragments = load_ruleset(ruleset).seed_fragments
+    sample = pktgen.gbps_stream(10.0, 1024, samples, rng)
+    work_samples = []
+    for payload in pktgen.payload_stream(
+        sample, rng, seed_fragments=fragments, seed_probability=0.01
+    ):
+        _, work = detector.inspect(PacketMeta("udp", 53, payload))
+        work_samples.append(work)
+    return FunctionProfile(
+        key=f"snort:{ruleset}",
+        display=f"Snort {ruleset}",
+        category="software",
+        stack="udp",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=1024 + HEADER_BYTES,
+        payload_bytes=1024,
+        work_samples=work_samples,
+        stack_packets=1.0,  # sniff-only: no reply traffic
+        notes="iperf UDP stream against registered-rule snapshot (§3.4)",
+    )
+
+
+def _profile_nat(entries_label: str, samples: int) -> FunctionProfile:
+    rng = _rng(f"nat:{entries_label}")
+    entries = {"10k": 10_000, "1m": 1_000_000}[entries_label]
+    work_samples: List[WorkUnits] = []
+    if entries <= 50_000:
+        table = nat_mod.build_random_table(entries, rng)
+        keys = list(table._entries.keys())
+        for _ in range(samples):
+            public_ip, public_port = keys[int(rng.integers(0, len(keys)))]
+            _, work = table.translate_ingress((17, 1, 2, public_ip, public_port))
+            work_samples.append(work)
+    else:
+        # Building 1M dataclass entries is memory-prohibitive in profiling;
+        # the work stream is synthesized with the same unit mix the real
+        # table produces above the cache-residency threshold.
+        kind = "nat_lookup_cold"
+        for _ in range(samples):
+            work_samples.append(WorkUnits({kind: 1.0, "nat_rewrite": 1.0}))
+    return FunctionProfile(
+        key=f"nat:{entries_label}",
+        display=f"NAT {entries_label.upper()} entries",
+        category="software",
+        stack="udp",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=512 + HEADER_BYTES,
+        payload_bytes=512,
+        work_samples=work_samples,
+        stack_packets=2.0,  # rewrite + forward
+        notes="random-content translation tables (§3.4)",
+    )
+
+
+def _profile_bm25(docs_label: str, samples: int) -> FunctionProfile:
+    rng = _rng(f"bm25:{docs_label}")
+    documents = {"100": 100, "1k": 1000}[docs_label]
+    index = bm25_mod.build_index(corpus_mod.document_corpus(documents, rng))
+    ranker = bm25_mod.Bm25Ranker(index)
+    queries = corpus_mod.query_stream(samples, rng, terms_per_query=12)
+    work_samples = []
+    for query in queries:
+        _, work = ranker.score(query)
+        work_samples.append(work)
+    return FunctionProfile(
+        key=f"bm25:{docs_label}",
+        display=f"BM25 {docs_label} docs",
+        category="software",
+        stack="udp",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=256 + HEADER_BYTES,
+        payload_bytes=256,
+        work_samples=work_samples,
+        stack_packets=2.0,  # query in, ranking out
+        notes="one query per arriving packet (§3.4)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# RDMA benchmarks (§3.4)
+# ---------------------------------------------------------------------------
+
+
+def _profile_mica(batch_label: str, samples: int) -> FunctionProfile:
+    rng = _rng(f"mica:{batch_label}")
+    batch = int(batch_label)
+    store = mica_mod.MicaStore(partitions=8)
+    keys = [b"mica-%07d" % i for i in range(20_000)]
+    value = bytes(rng.integers(0, 256, size=256, dtype=np.uint8))
+    for key in keys:
+        store.put(key, value)
+    zipf = ycsb.ZipfianGenerator(len(keys), rng)
+    # A 32 x 256 B batch scatters reads across the partition logs far
+    # beyond the A72's small caches while still fitting the host LLC —
+    # price its value movement as cache-cold.
+    cold = batch * 256 > 4 * 1024
+    work_samples = []
+    for _ in range(samples):
+        batch_keys = [keys[min(zipf.next(), len(keys) - 1)] for _ in range(batch)]
+        _, work = store.get_batch(batch_keys)
+        if cold:
+            moved = work.get("kv_value_byte")
+            work = WorkUnits(
+                {k: v for k, v in work.items() if k != "kv_value_byte"}
+            ).add("kv_value_byte_cold", moved)
+        work.add("kv_op", 1.0)  # per-batch RPC dispatch
+        # x2.5: bring per-op cost to MICA's published ~200ns/op scale
+        work_samples.append(work.scaled(2.5))
+    return FunctionProfile(
+        key=f"mica:{batch_label}",
+        display=f"MICA batch={batch}",
+        category="software",
+        stack="rdma",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=batch * (16 + 256) + 58,
+        payload_bytes=batch * 256,
+        work_samples=work_samples,
+        stack_packets=2.0,
+        latency_extra={"host": 50e-6, "snic-cpu": 45e-6},
+        notes="100% GET, batch sizes 4 and 32 (§3.4)",
+    )
+
+
+def _profile_fio(op_label: str, samples: int) -> FunctionProfile:
+    rng = _rng(f"fio:{op_label}")
+    target = NvmeOfTarget()
+    target.add_namespace(1, RamDisk(64 << 20))
+    engine = FioEngine(target, 1, rng)
+    kind = IoKind.READ if op_label == "read" else IoKind.WRITE
+    per_op = max(1, samples // 50)
+    work_samples = []
+    for _ in range(50):
+        _, work = engine.run(FioJobSpec(kind=kind, operations=per_op))
+        work_samples.append(work.scaled(1.0 / per_op))
+    # The data path runs in the NVMe-oF offload engine, not software: the
+    # CPU only builds/submits commands, so byte-proportional work is
+    # carried by the engine (drop it from the CPU price).
+    cpu_samples = [
+        WorkUnits({"io_request": sample.get("io_request")}) for sample in work_samples
+    ]
+    block = 64 * 1024
+    # Calibrated device-path tails (§4 Key Observation 4): reads favor the
+    # host (36 % lower p99), writes favor the SNIC (host 18.2 % higher).
+    latency_extra = (
+        {"host": 88e-6, "snic-cpu": 140e-6}
+        if op_label == "read"
+        else {"host": 135e-6, "snic-cpu": 78e-6}
+    )
+    return FunctionProfile(
+        key=f"fio:{op_label}",
+        display=f"fio rand{op_label}",
+        category="software",
+        stack="rdma",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=block + 58 + 16,
+        payload_bytes=block,
+        work_samples=cpu_samples,
+        stack_packets=2.0,
+        cores={"host": 4, "snic-cpu": 4},
+        latency_extra=latency_extra,
+        # host-side NVMe-oF moves 12.5 GB/s through host DRAM and PCIe;
+        # the SNIC's offload engine keeps that traffic on the card
+        power_extra_w={"host": 50.0},
+        notes="64KB blocks over NVMe-oF to a RAMDisk target, iodepth 4 (§3.4)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hardware-accelerated functions (§3.4)
+# ---------------------------------------------------------------------------
+
+CRYPTO_BUFFER_BYTES = 8192
+
+
+def _profile_crypto(algorithm: str, samples: int) -> FunctionProfile:
+    rng = _rng(f"crypto:{algorithm}")
+    if algorithm == "aes":
+        buffer = bytes(rng.integers(0, 256, size=CRYPTO_BUFFER_BYTES, dtype=np.uint8))
+        _, work = aes_mod.encrypt_ctr(buffer, b"0123456789abcdef")
+        work_samples = [work]
+        payload = CRYPTO_BUFFER_BYTES
+        mode, op_based = "aes", False
+    elif algorithm == "sha1":
+        buffer = bytes(rng.integers(0, 256, size=CRYPTO_BUFFER_BYTES, dtype=np.uint8))
+        _, work = sha1_mod.digest(buffer)
+        work_samples = [work]
+        payload = CRYPTO_BUFFER_BYTES
+        mode, op_based = "sha1", False
+    elif algorithm == "rsa":
+        # RSA-2048 private-key op via CRT: two 1024-bit exponentiations.
+        half = rsa_mod.modexp_work((1 << 1024) - 1, 1024)
+        work = WorkUnits().merge(half).merge(half).scaled(0.75)
+        # 0.75: sliding-window exponentiation does ~n squarings + n/4
+        # multiplies rather than binary's n + n/2.
+        work_samples = [work]
+        payload = 256
+        mode, op_based = "rsa2048", True
+    else:
+        raise KeyError(f"unknown crypto algorithm {algorithm!r}")
+    return FunctionProfile(
+        key=f"crypto:{algorithm}",
+        display=f"Crypto {algorithm.upper()}",
+        category="hardware",
+        stack=None,  # run locally, no client traffic (§3.4)
+        platforms=("host", "snic-cpu", "snic-accel"),
+        wire_bytes=float(payload),
+        payload_bytes=float(payload),
+        work_samples=work_samples,
+        stack_packets=0.0,
+        accel_engine="crypto",
+        accel_mode=mode,
+        accel_op_based=op_based,
+        cores={"snic-accel": 1},  # one staging core suffices (§3.4)
+        notes="OpenSSL-style local measurement; host uses ISA extensions",
+    )
+
+
+def _profile_rem(ruleset: str, samples: int, packet_source: str = "pcap") -> FunctionProfile:
+    rng = _rng(f"rem:{ruleset}:{packet_source}")
+    matcher = compile_ruleset(ruleset)
+    fragments = load_ruleset(ruleset).seed_fragments
+    if packet_source == "pcap":
+        # CTU-mix traffic skews toward text-carrying application payloads.
+        sample = pktgen.pcap_mix_stream(10.0, samples, rng)
+        text_fraction = 0.70
+    else:  # "mtu": fixed 1500 B packets (Fig. 5), bulk-transfer heavy
+        sample = pktgen.gbps_stream(10.0, 1500, samples, rng)
+        text_fraction = 0.35
+    work_samples = []
+    total_payload = 0
+    for payload in pktgen.payload_stream(
+        sample, rng, text_fraction=text_fraction,
+        seed_fragments=fragments, seed_probability=0.005,
+    ):
+        _, stats = matcher.scan(payload)
+        work_samples.append(stats.work_units())
+        total_payload += len(payload)
+    suffix = "" if packet_source == "pcap" else "@mtu"
+    mean_payload = total_payload / max(len(work_samples), 1)
+    return FunctionProfile(
+        key=f"rem:{ruleset}{suffix}",
+        display=f"REM {ruleset}{suffix}",
+        category="hardware",
+        stack="dpdk",
+        platforms=("host", "snic-accel"),
+        wire_bytes=mean_payload + HEADER_BYTES,
+        payload_bytes=mean_payload,
+        work_samples=work_samples,
+        stack_packets=1.0,
+        accel_engine="rem",
+        accel_mode="default",
+        notes=f"{packet_source} packets; host runs the software matcher",
+    )
+
+
+def _profile_compression(file_label: str, samples: int) -> FunctionProfile:
+    chunk = 4096
+    data = corpus_mod.make_compression_input(file_label, chunk * max(6, min(samples, 12)))
+    work_samples = []
+    ratios = []
+    for offset in range(0, len(data), chunk):
+        piece = data[offset : offset + chunk]
+        if len(piece) < chunk:
+            break
+        result = deflate.compress(piece, level=9)
+        work_samples.append(result.work)
+        ratios.append(result.ratio)
+    return FunctionProfile(
+        key=f"compression:{file_label}",
+        display=f"Compress {file_label}",
+        category="hardware",
+        stack="dpdk",
+        platforms=("host", "snic-accel"),
+        wire_bytes=chunk + HEADER_BYTES,
+        payload_bytes=chunk,
+        work_samples=work_samples,
+        stack_packets=1.0,
+        accel_engine="compression",
+        accel_mode="deflate",
+        host_power_scale=0.55,
+        notes=f"level-9 deflate, mean ratio {np.mean(ratios):.2f}",
+    )
+
+
+def _profile_ovs(load_label: str, samples: int) -> FunctionProfile:
+    rng = _rng(f"ovs:{load_label}")
+    table = ovs_mod.FlowTable()
+    table.add_rule(ovs_mod.WildcardRule(priority=10, out_port=1))
+    datapath = ovs_mod.ESwitchDatapath(table)
+    flows = 64
+
+    def flow_key(index: int):
+        flow = int(rng.zipf(1.3)) % flows
+        return (6, 0x0A000001, 0x0A000100 + flow, 40000 + flow % 7, 80)
+
+    # Warm the megaflow cache / eSwitch tables (steady state: nearly all
+    # traffic is hardware-forwarded and the CPU sees only rare upcalls).
+    for index in range(20 * flows):
+        datapath.process(flow_key(index))
+    work_samples = []
+    for index in range(max(samples, 500)):
+        _, work = datapath.process(flow_key(index))
+        work_samples.append(work)
+    return FunctionProfile(
+        key=f"ovs:{load_label}",
+        display=f"OvS {load_label}% load",
+        category="hardware",
+        stack="dpdk",
+        platforms=("host", "snic-cpu"),
+        wire_bytes=1500 + HEADER_BYTES,
+        payload_bytes=1500,
+        work_samples=work_samples,
+        stack_packets=0.05,  # data plane in the eSwitch; CPU sees upcalls
+        cores={"host": 2, "snic-cpu": 2},
+        load_fraction_override={"10": 0.10, "100": 0.98}[load_label],
+        # line-rate DMA through the host root complex draws uncore power
+        # the SNIC-resident eSwitch avoids (Table 5: 328 W vs 255 W)
+        power_extra_w={"host": {"10": 20.0, "100": 68.0}[load_label]},
+        notes="data plane offloaded to the eSwitch on both platforms (§3.4)",
+    )
+
+
+
+
+def _profile_decompression(file_label: str, samples: int) -> FunctionProfile:
+    """Inflate (extension experiment): the compression engine's reverse
+    mode, exercised with payloads produced by the real compressor."""
+    chunk = 4096
+    data = corpus_mod.make_compression_input(file_label, chunk * max(6, min(samples, 12)))
+    work_samples = []
+    compressed_sizes = []
+    for offset in range(0, len(data), chunk):
+        piece = data[offset : offset + chunk]
+        if len(piece) < chunk:
+            break
+        payload = deflate.compress(piece, level=9).payload
+        restored, work = deflate.decompress(payload)
+        assert restored == piece
+        work_samples.append(work)
+        compressed_sizes.append(len(payload))
+    mean_compressed = float(np.mean(compressed_sizes))
+    return FunctionProfile(
+        key=f"decompression:{file_label}",
+        display=f"Inflate {file_label}",
+        category="hardware",
+        stack="dpdk",
+        platforms=("host", "snic-accel"),
+        wire_bytes=mean_compressed + HEADER_BYTES,
+        payload_bytes=mean_compressed,
+        work_samples=work_samples,
+        stack_packets=1.0,
+        accel_engine="compression",
+        accel_mode="inflate",
+        host_power_scale=0.55,
+        notes="inflate of level-9 streams (extension: not in the paper's Fig. 4)",
+    )
+
+
+
+
+def _profile_ipsec(direction: str, samples: int) -> FunctionProfile:
+    """IPsec ESP gateway (extension): the strongSwan use case of §2.2 A2,
+    i.e. crypto applied per packet rather than to local buffers."""
+    from ..functions import ipsec as ipsec_mod
+
+    rng = _rng(f"ipsec:{direction}")
+    tunnel = ipsec_mod.Tunnel.create(
+        spi=0xBEEF, encryption_key=b"0123456789abcdef", integrity_key=b"ik"
+    )
+    payload_bytes = 1024
+    sample = pktgen.gbps_stream(10.0, payload_bytes, samples, rng)
+    work_samples = []
+    for payload in pktgen.payload_stream(sample, rng):
+        packet, encap_work = tunnel.protect(payload)
+        if direction == "encap":
+            work_samples.append(encap_work)
+        else:
+            _, decap_work = tunnel.unprotect(packet)
+            work_samples.append(decap_work)
+    return FunctionProfile(
+        key=f"ipsec:{direction}",
+        display=f"IPsec ESP {direction}",
+        category="hardware",
+        stack="udp",
+        platforms=("host", "snic-cpu", "snic-accel"),
+        wire_bytes=payload_bytes + 20 + HEADER_BYTES,
+        payload_bytes=payload_bytes,
+        work_samples=work_samples,
+        stack_packets=2.0,  # receive plaintext side, transmit tunnel side
+        accel_engine="crypto",
+        accel_mode="esp",
+        accel_staging_stack="dpdk",
+        notes="ESP tunnel gateway at packet rate (extension; strongSwan-style)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BUILDERS: Dict[str, Callable[[int], FunctionProfile]] = {
+    "udp:64": lambda n: _profile_udp(64, n),
+    "udp:1024": lambda n: _profile_udp(1024, n),
+    "dpdk:64": lambda n: _profile_dpdk(64, n),
+    "dpdk:1024": lambda n: _profile_dpdk(1024, n),
+    "rdma:1024": lambda n: _profile_rdma(1024, n),
+    "redis:a": lambda n: _profile_redis("a", n),
+    "redis:b": lambda n: _profile_redis("b", n),
+    "redis:c": lambda n: _profile_redis("c", n),
+    "snort:file_image": lambda n: _profile_snort("file_image", n),
+    "snort:file_flash": lambda n: _profile_snort("file_flash", n),
+    "snort:file_executable": lambda n: _profile_snort("file_executable", n),
+    "nat:10k": lambda n: _profile_nat("10k", n),
+    "nat:1m": lambda n: _profile_nat("1m", n),
+    "bm25:100": lambda n: _profile_bm25("100", n),
+    "bm25:1k": lambda n: _profile_bm25("1k", n),
+    "mica:4": lambda n: _profile_mica("4", n),
+    "mica:32": lambda n: _profile_mica("32", n),
+    "fio:read": lambda n: _profile_fio("read", n),
+    "fio:write": lambda n: _profile_fio("write", n),
+    "crypto:aes": lambda n: _profile_crypto("aes", n),
+    "crypto:rsa": lambda n: _profile_crypto("rsa", n),
+    "crypto:sha1": lambda n: _profile_crypto("sha1", n),
+    "rem:file_image": lambda n: _profile_rem("file_image", n, "pcap"),
+    "rem:file_flash": lambda n: _profile_rem("file_flash", n, "pcap"),
+    "rem:file_executable": lambda n: _profile_rem("file_executable", n, "pcap"),
+    "rem:file_image@mtu": lambda n: _profile_rem("file_image", n, "mtu"),
+    "rem:file_flash@mtu": lambda n: _profile_rem("file_flash", n, "mtu"),
+    "rem:file_executable@mtu": lambda n: _profile_rem("file_executable", n, "mtu"),
+    "compression:app": lambda n: _profile_compression("app", n),
+    "compression:txt": lambda n: _profile_compression("txt", n),
+    "decompression:app": lambda n: _profile_decompression("app", n),
+    "decompression:txt": lambda n: _profile_decompression("txt", n),
+    "ipsec:encap": lambda n: _profile_ipsec("encap", n),
+    "ipsec:decap": lambda n: _profile_ipsec("decap", n),
+    "ovs:10": lambda n: _profile_ovs("10", n),
+    "ovs:100": lambda n: _profile_ovs("100", n),
+}
+
+ALL_PROFILE_KEYS = tuple(
+    k for k in _BUILDERS
+    if "@mtu" not in k
+    and not k.startswith("decompression")
+    and not k.startswith("ipsec")
+)
+# Extension configs beyond the paper's Fig. 4 set.
+EXTENSION_PROFILE_KEYS = (
+    "decompression:app",
+    "decompression:txt",
+    "ipsec:encap",
+    "ipsec:decap",
+)
+
+DEFAULT_SAMPLES = 300
+
+
+@lru_cache(maxsize=None)
+def get_profile(key: str, samples: int = DEFAULT_SAMPLES) -> FunctionProfile:
+    """Build (or fetch the cached) profile for a benchmark config key."""
+    try:
+        builder = _BUILDERS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark key {key!r}; known: {sorted(_BUILDERS)}"
+        ) from None
+    return builder(samples)

@@ -1,0 +1,138 @@
+"""Strategy 1 (§5.3): what if the SNIC offloaded its TCP/UDP stack?
+
+Key Observation 1 blames the SNIC CPU's kernel-stack cycles for its
+losses on TCP/UDP functions; Strategy 1 proposes hardware stack offload
+(the FlexTOE / AccelTCP line of work).  This what-if re-prices the SNIC's
+stack under partial offload — a fraction of per-packet stack cycles moves
+to NIC hardware and the softirq serialization relaxes — and re-measures
+the Fig. 4 points, quantifying how much of the gap Strategy 1 recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from .. import calibration
+from ..core.rng import RandomStreams
+from .measurement import measure_operating_point
+from .profiles import get_profile
+
+DEFAULT_KEYS = ("udp:64", "redis:a", "nat:10k", "bm25:1k", "snort:file_executable")
+
+
+@dataclass
+class OffloadScenario:
+    """One point on the stack-offload spectrum."""
+
+    name: str
+    # Fraction of per-packet kernel-stack cycles moved into NIC hardware.
+    cycles_offloaded: float
+    # Restored parallel efficiency (hardware dispatch removes the softirq
+    # serialization that capped the A72s).
+    parallel_efficiency: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.cycles_offloaded < 1.0:
+            raise ValueError("cycles_offloaded must be in [0, 1)")
+        if not 0.0 < self.parallel_efficiency <= 1.0:
+            raise ValueError("parallel_efficiency must be in (0, 1]")
+
+
+BASELINE = OffloadScenario("today", 0.0, 0.30)
+# AccelTCP-style: connection setup/teardown + segmentation in hardware.
+PARTIAL = OffloadScenario("partial-offload", 0.45, 0.60)
+# FlexTOE-style: the full datapath decomposed onto NIC engines.
+AGGRESSIVE = OffloadScenario("datapath-offload", 0.75, 0.90)
+
+SCENARIOS = (BASELINE, PARTIAL, AGGRESSIVE)
+
+
+@dataclass
+class Strategy1Row:
+    key: str
+    scenario: str
+    snic_throughput_rps: float
+    host_throughput_rps: float
+
+    @property
+    def ratio(self) -> float:
+        if self.host_throughput_rps <= 0:
+            return float("inf")
+        return self.snic_throughput_rps / self.host_throughput_rps
+
+
+def _snic_with_offload(scenario: OffloadScenario) -> calibration.PlatformCalibration:
+    """A SNIC CPU calibration with the scenario's stack re-pricing."""
+    base = calibration.SNIC_CPU
+    stacks = dict(base.stacks)
+    for name in ("udp", "tcp"):
+        cost = stacks[name]
+        stacks[name] = replace(
+            cost,
+            per_packet_cycles=cost.per_packet_cycles * (1 - scenario.cycles_offloaded),
+            per_byte_cycles=cost.per_byte_cycles * (1 - scenario.cycles_offloaded),
+            parallel_efficiency=scenario.parallel_efficiency,
+        )
+    return replace(base, stacks=stacks)
+
+
+def run_strategy1(
+    keys: Sequence[str] = DEFAULT_KEYS,
+    scenarios: Sequence[OffloadScenario] = SCENARIOS,
+    samples: int = 150,
+    n_requests: int = 8_000,
+    streams: Optional[RandomStreams] = None,
+) -> List[Strategy1Row]:
+    """Measure each function under each stack-offload scenario.
+
+    Temporarily swaps the SNIC CPU calibration; always restores it.
+    """
+    streams = streams or RandomStreams(31)
+    rows: List[Strategy1Row] = []
+    original = calibration.PLATFORMS["snic-cpu"]
+    try:
+        for key in keys:
+            profile = get_profile(key, samples=samples)
+            host = measure_operating_point(profile, "host", streams, n_requests)
+            for index, scenario in enumerate(scenarios):
+                calibration.PLATFORMS["snic-cpu"] = _snic_with_offload(scenario)
+                snic = measure_operating_point(
+                    profile, "snic-cpu", streams.fork(index + 1), n_requests
+                )
+                rows.append(
+                    Strategy1Row(
+                        key=key,
+                        scenario=scenario.name,
+                        snic_throughput_rps=snic.throughput_rps,
+                        host_throughput_rps=host.throughput_rps,
+                    )
+                )
+    finally:
+        calibration.PLATFORMS["snic-cpu"] = original
+    return rows
+
+
+def rows_by_scenario(rows: List[Strategy1Row]) -> Dict[str, Dict[str, float]]:
+    """{scenario: {function: snic/host ratio}}"""
+    result: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        result.setdefault(row.scenario, {})[row.key] = row.ratio
+    return result
+
+
+def format_strategy1(rows: List[Strategy1Row]) -> str:
+    by_scenario = rows_by_scenario(rows)
+    keys = sorted({row.key for row in rows})
+    scenario_names = [s.name for s in SCENARIOS if s.name in by_scenario]
+    header = f"{'function':<24}" + "".join(f"{name:>20}" for name in scenario_names)
+    lines = [header, "-" * len(header)]
+    for key in keys:
+        cells = "".join(
+            f"{by_scenario[name].get(key, float('nan')):>20.2f}"
+            for name in scenario_names
+        )
+        lines.append(f"{key:<24}" + cells)
+    lines.append("")
+    lines.append("(cells: SNIC/host max-throughput ratio)")
+    return "\n".join(lines)

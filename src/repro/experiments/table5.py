@@ -1,0 +1,84 @@
+"""Table 5: five-year TCO of SNIC vs standard-NIC fleets for fio, OvS,
+REM, and Compress.
+
+Fleet sizing and power draw come from our measured operating points; the
+component prices and electricity cost are the paper's.  Expected shape:
+small savings for fio and OvS, a small loss for REM (the SNIC's purchase
+premium isn't recovered at trace-like loads), and a dominant ~70 % saving
+for Compress where one accelerator replaces ~3.5 servers' worth of CPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.tco import TcoComparison, compare
+from ..core.rng import RandomStreams
+from .fig4 import snic_platform_for
+from .measurement import measure_operating_point
+from .profiles import get_profile
+from .table4 import run_table4
+
+# Table 5's four applications mapped to our benchmark configs.
+TABLE5_APPS = {
+    "fio": "fio:read",
+    "OVS": "ovs:100",
+    "REM": "rem:file_executable",
+    "Compress": "compression:txt",
+}
+
+
+@dataclass
+class Table5Result:
+    comparisons: List[TcoComparison]
+
+    def by_application(self) -> Dict[str, TcoComparison]:
+        return {c.application: c for c in self.comparisons}
+
+
+def run_table5(
+    samples: int = 200,
+    n_requests: int = 10_000,
+    streams: Optional[RandomStreams] = None,
+    snic_servers: int = 10,
+) -> Table5Result:
+    streams = streams or RandomStreams()
+    comparisons: List[TcoComparison] = []
+    for application, key in TABLE5_APPS.items():
+        if application == "REM":
+            # The paper evaluates REM's TCO at the hyperscaler-trace load
+            # (§5.1-5.2): both platforms sustain the trace, so the fleets
+            # stay equal and only the power and purchase price differ.
+            table4 = run_table4(samples=samples, n_requests=n_requests,
+                                streams=streams)
+            comparisons.append(
+                compare(
+                    application,
+                    snic_power_w=table4.snic.average_power_w,
+                    nic_power_w=table4.host.average_power_w,
+                    throughput_ratio_snic_over_host=1.0,
+                    snic_servers=snic_servers,
+                )
+            )
+            continue
+        profile = get_profile(key, samples=samples)
+        host = measure_operating_point(profile, "host", streams, n_requests)
+        snic = measure_operating_point(
+            profile, snic_platform_for(profile), streams, n_requests
+        )
+        ratio = (
+            snic.throughput_rps / host.throughput_rps
+            if host.throughput_rps > 0
+            else 1.0
+        )
+        comparisons.append(
+            compare(
+                application,
+                snic_power_w=snic.server_power_w,
+                nic_power_w=host.server_power_w,
+                throughput_ratio_snic_over_host=ratio,
+                snic_servers=snic_servers,
+            )
+        )
+    return Table5Result(comparisons=comparisons)

@@ -1,0 +1,1 @@
+"""The 13 network functions evaluated by the paper (Table 3 + §3.3)."""

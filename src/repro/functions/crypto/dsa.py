@@ -1,0 +1,107 @@
+"""DSA (FIPS 186-4) sign/verify, pure Python reference.
+
+One of the PKA algorithms the BlueField-2 crypto engine advertises
+(§2.2 A2).  Work accounting follows the same limb-multiply convention as
+RSA: signing is one modular exponentiation in the subgroup (g^k mod p)
+plus cheap field arithmetic mod q; verification performs two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ...core.work import WorkUnits
+from .rsa import (
+    _extended_gcd,
+    _is_probable_prime,
+    generate_prime,
+    modexp_work,
+    random_int,
+)
+
+
+def _modinv(a: int, m: int) -> int:
+    g, x = _extended_gcd(a % m, m)
+    if g != 1:
+        raise ValueError("inverse does not exist")
+    return x % m
+
+
+@dataclass(frozen=True)
+class DsaParameters:
+    p: int  # prime modulus
+    q: int  # prime subgroup order, q | p-1
+    g: int  # generator of the order-q subgroup
+
+
+@dataclass(frozen=True)
+class DsaKey:
+    parameters: DsaParameters
+    x: int  # private
+    y: int  # public = g^x mod p
+
+
+def generate_parameters(
+    p_bits: int, q_bits: int, rng: np.random.Generator
+) -> DsaParameters:
+    """(p, q, g) with q | p-1 — the FIPS construction, scaled-down sizes
+    allowed for tests."""
+    if q_bits >= p_bits:
+        raise ValueError("q must be smaller than p")
+    while True:
+        q = generate_prime(q_bits, rng)
+        # search for p = q * m + 1 prime
+        for _ in range(4096):
+            m = random_int(p_bits - q_bits, rng) & ~1
+            p = q * m + 1
+            if p.bit_length() == p_bits and _is_probable_prime(p, rng):
+                h = 2
+                g = pow(h, (p - 1) // q, p)
+                if g > 1:
+                    return DsaParameters(p=p, q=q, g=g)
+
+
+def generate_key(parameters: DsaParameters, rng: np.random.Generator) -> DsaKey:
+    x = int(rng.integers(2, min(parameters.q - 1, 2**63 - 1)))
+    y = pow(parameters.g, x, parameters.p)
+    return DsaKey(parameters=parameters, x=x, y=y)
+
+
+def sign(
+    digest: int, key: DsaKey, rng: np.random.Generator
+) -> Tuple[Tuple[int, int], WorkUnits]:
+    """(r, s) signature over ``digest`` (already reduced mod q by caller
+    or here)."""
+    params = key.parameters
+    work = WorkUnits()
+    while True:
+        k = int(rng.integers(2, min(params.q - 1, 2**63 - 1)))
+        work.merge(modexp_work(k, params.p.bit_length()))
+        r = pow(params.g, k, params.p) % params.q
+        if r == 0:
+            continue
+        k_inv = _modinv(k, params.q)
+        s = (k_inv * (digest + key.x * r)) % params.q
+        if s == 0:
+            continue
+        work.add("rsa_limb_mul", 4.0 * ((params.q.bit_length() + 63) // 64) ** 2)
+        return (r, s), work
+
+
+def verify(
+    digest: int, signature: Tuple[int, int], key: DsaKey
+) -> Tuple[bool, WorkUnits]:
+    params = key.parameters
+    r, s = signature
+    if not (0 < r < params.q and 0 < s < params.q):
+        return False, WorkUnits()
+    w = _modinv(s, params.q)
+    u1 = (digest * w) % params.q
+    u2 = (r * w) % params.q
+    work = modexp_work(u1, params.p.bit_length())
+    work.merge(modexp_work(u2, params.p.bit_length()))
+    v = (pow(params.g, u1, params.p) * pow(key.y, u2, params.p)) % params.p % params.q
+    return v == r, work

@@ -1,0 +1,165 @@
+"""Elliptic-curve cryptography: curve arithmetic + ECDSA (FIPS 186-4).
+
+The remaining advertised PKA family (§2.2 A2).  Implements short
+Weierstrass curves over prime fields with affine point arithmetic, the
+NIST P-256 parameters, and ECDSA sign/verify.  Work accounting counts
+field multiplies: a scalar multiply with a w-bit scalar performs ~w
+doublings + ~w/2 additions, each a handful of field multiplies — priced
+through the ``rsa_limb_mul`` kind (the PKA engine runs both through the
+same multiplier array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...core.work import WorkUnits
+from .rsa import _extended_gcd
+
+Point = Optional[Tuple[int, int]]  # None = point at infinity
+
+# Field multiplies per affine point operation (2 mul + 1 inversion ~ 10).
+_MULS_PER_POINT_OP = 12.0
+
+
+def _modinv(a: int, m: int) -> int:
+    g, x = _extended_gcd(a % m, m)
+    if g != 1:
+        raise ValueError("inverse does not exist")
+    return x % m
+
+
+@dataclass(frozen=True)
+class Curve:
+    """y^2 = x^3 + ax + b over GF(p), base point G of prime order n."""
+
+    name: str
+    p: int
+    a: int
+    b: int
+    g: Tuple[int, int]
+    n: int
+
+    def is_on_curve(self, point: Point) -> bool:
+        if point is None:
+            return True
+        x, y = point
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    # -- group law -----------------------------------------------------------
+
+    def add(self, p1: Point, p2: Point) -> Point:
+        if p1 is None:
+            return p2
+        if p2 is None:
+            return p1
+        x1, y1 = p1
+        x2, y2 = p2
+        if x1 == x2 and (y1 + y2) % self.p == 0:
+            return None
+        if p1 == p2:
+            if y1 == 0:
+                return None
+            slope = (3 * x1 * x1 + self.a) * _modinv(2 * y1, self.p) % self.p
+        else:
+            slope = (y2 - y1) * _modinv(x2 - x1, self.p) % self.p
+        x3 = (slope * slope - x1 - x2) % self.p
+        y3 = (slope * (x1 - x3) - y1) % self.p
+        return (x3, y3)
+
+    def scalar_multiply(self, k: int, point: Point) -> Tuple[Point, WorkUnits]:
+        """Double-and-add k*P with work accounting."""
+        if k < 0:
+            raise ValueError("negative scalar")
+        k %= self.n
+        limbs = (self.p.bit_length() + 63) // 64
+        result: Point = None
+        addend = point
+        operations = 0.0
+        while k:
+            if k & 1:
+                result = self.add(result, addend)
+                operations += 1
+            addend = self.add(addend, addend)
+            operations += 1
+            k >>= 1
+        work = WorkUnits(
+            {"rsa_limb_mul": operations * _MULS_PER_POINT_OP * limbs * limbs}
+        )
+        return result, work
+
+
+# NIST P-256 (FIPS 186-4 D.1.2.3)
+P256 = Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3 % 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    g=(
+        0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+        0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    ),
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+# A tiny curve for fast property tests: y^2 = x^3 + 2x + 2 over GF(17),
+# generator (5, 1) of order 19.
+TINY_CURVE = Curve(name="tiny-17", p=17, a=2, b=2, g=(5, 1), n=19)
+
+
+@dataclass(frozen=True)
+class EcdsaKey:
+    curve: Curve
+    d: int  # private scalar
+    q: Tuple[int, int]  # public point d*G
+
+
+def generate_key(curve: Curve, rng: np.random.Generator) -> EcdsaKey:
+    d = int(rng.integers(2, min(curve.n - 1, 2**63 - 1)))
+    q, _ = curve.scalar_multiply(d, curve.g)
+    assert q is not None
+    return EcdsaKey(curve=curve, d=d, q=q)
+
+
+def sign(
+    digest: int, key: EcdsaKey, rng: np.random.Generator
+) -> Tuple[Tuple[int, int], WorkUnits]:
+    curve = key.curve
+    z = digest % curve.n
+    total = WorkUnits()
+    while True:
+        k = int(rng.integers(2, min(curve.n - 1, 2**63 - 1)))
+        point, work = curve.scalar_multiply(k, curve.g)
+        total.merge(work)
+        if point is None:
+            continue
+        r = point[0] % curve.n
+        if r == 0:
+            continue
+        s = (_modinv(k, curve.n) * (z + r * key.d)) % curve.n
+        if s == 0:
+            continue
+        return (r, s), total
+
+
+def verify(
+    digest: int, signature: Tuple[int, int], key: EcdsaKey
+) -> Tuple[bool, WorkUnits]:
+    curve = key.curve
+    r, s = signature
+    if not (0 < r < curve.n and 0 < s < curve.n):
+        return False, WorkUnits()
+    z = digest % curve.n
+    w = _modinv(s, curve.n)
+    u1 = (z * w) % curve.n
+    u2 = (r * w) % curve.n
+    p1, work1 = curve.scalar_multiply(u1, curve.g)
+    p2, work2 = curve.scalar_multiply(u2, key.q)
+    total = WorkUnits().merge(work1).merge(work2)
+    point = curve.add(p1, p2)
+    if point is None:
+        return False, total
+    return point[0] % curve.n == r, total

@@ -1,0 +1,141 @@
+"""MICA-style partitioned key-value store (Lim et al., NSDI'14; §3.4).
+
+The defining features reproduced here:
+
+* **partitioned design** — keys hash to partitions, each owned by one
+  core (no cross-core locking);
+* **lossy bucket index** — fixed-size buckets of (tag, offset) slots with
+  eviction on overflow, exactly MICA's lossy mode;
+* **circular append log** — values live in a per-partition ring; old
+  entries are overwritten and their index slots invalidated lazily;
+* **request batching** — clients submit GETs in batches (the paper runs
+  batch sizes 4 and 32), which amortizes the per-message RDMA cost.
+
+Work units per op: one hash probe for the bucket, one random access for
+the log read, value-byte movement.  The per-batch transport cost is added
+by the experiment layer (one RDMA message per batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.work import WorkUnits
+
+BUCKET_SLOTS = 8
+
+
+def _hash64(key: bytes) -> int:
+    value = 0xCBF29CE484222325
+    for byte in key:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    # murmur-style finalizer: FNV alone leaves the high bits poorly mixed
+    # for short, similar keys, which would collapse tags into collisions.
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    return value
+
+
+@dataclass
+class _Slot:
+    tag: int
+    offset: int
+
+
+class _Partition:
+    def __init__(self, buckets: int, log_bytes: int):
+        self.buckets: List[List[_Slot]] = [[] for _ in range(buckets)]
+        self.log = bytearray(log_bytes)
+        self.head = 0
+        self.wrapped = False
+
+    def _append(self, key: bytes, value: bytes) -> int:
+        record = len(key).to_bytes(2, "little") + len(value).to_bytes(4, "little") + key + value
+        if len(record) > len(self.log):
+            raise ValueError("record larger than partition log")
+        if self.head + len(record) > len(self.log):
+            self.head = 0
+            self.wrapped = True
+        offset = self.head
+        self.log[offset : offset + len(record)] = record
+        self.head += len(record)
+        return offset
+
+    def _read(self, offset: int, key: bytes) -> Optional[bytes]:
+        key_length = int.from_bytes(self.log[offset : offset + 2], "little")
+        value_length = int.from_bytes(self.log[offset + 2 : offset + 6], "little")
+        start = offset + 6
+        stored_key = bytes(self.log[start : start + key_length])
+        if stored_key != key:
+            return None  # overwritten by log wrap or tag collision
+        start += key_length
+        return bytes(self.log[start : start + value_length])
+
+
+class MicaStore:
+    """The store; ``partitions`` should match serving cores."""
+
+    def __init__(self, partitions: int = 8, buckets_per_partition: int = 4096,
+                 log_bytes_per_partition: int = 1 << 22):
+        if partitions < 1:
+            raise ValueError("need at least one partition")
+        self.partitions = [
+            _Partition(buckets_per_partition, log_bytes_per_partition)
+            for _ in range(partitions)
+        ]
+        self.evictions = 0
+
+    def _locate(self, key: bytes) -> Tuple[_Partition, int, int]:
+        h = _hash64(key)
+        partition = self.partitions[h % len(self.partitions)]
+        bucket_index = (h >> 16) % len(partition.buckets)
+        tag = (h >> 48) & 0xFFFF
+        return partition, bucket_index, tag
+
+    def put(self, key: bytes, value: bytes) -> WorkUnits:
+        partition, bucket_index, tag = self._locate(key)
+        offset = partition._append(key, value)
+        bucket = partition.buckets[bucket_index]
+        for slot in bucket:
+            if slot.tag == tag:
+                slot.offset = offset
+                break
+        else:
+            if len(bucket) >= BUCKET_SLOTS:
+                bucket.pop(0)  # lossy eviction of the oldest slot
+                self.evictions += 1
+            bucket.append(_Slot(tag, offset))
+        return WorkUnits(
+            {
+                "hash_probe": 1.0,
+                "mem_random_access": 1.0,
+                "kv_value_byte": float(len(value)),
+            }
+        )
+
+    def get(self, key: bytes) -> Tuple[Optional[bytes], WorkUnits]:
+        partition, bucket_index, tag = self._locate(key)
+        work = WorkUnits({"hash_probe": 1.0})
+        for slot in partition.buckets[bucket_index]:
+            if slot.tag == tag:
+                work.add("mem_random_access", 1.0)
+                value = partition._read(slot.offset, key)
+                if value is not None:
+                    work.add("kv_value_byte", float(len(value)))
+                    return value, work
+        return None, work
+
+    def get_batch(self, keys: List[bytes]) -> Tuple[List[Optional[bytes]], WorkUnits]:
+        """Batched GET: one transport message carries ``len(keys)`` ops."""
+        total = WorkUnits()
+        values: List[Optional[bytes]] = []
+        for key in keys:
+            value, work = self.get(key)
+            values.append(value)
+            total.merge(work)
+        return values, total

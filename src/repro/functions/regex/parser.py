@@ -1,0 +1,251 @@
+"""Regular-expression parser.
+
+Supports the subset needed for IDS-style signature rules: literals,
+escapes (``\\x41``, ``\\n``, ``\\t``, ``\\d``, ``\\w``, ``\\s``), the dot,
+character classes with ranges and negation, grouping, alternation, and the
+``* + ? {m,n}`` quantifiers.  Parsing produces a small AST that the NFA
+builder consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+
+class RegexSyntaxError(ValueError):
+    """Raised on malformed patterns."""
+
+
+# -- AST ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    pass
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """Match exactly one byte from ``bytes_allowed``."""
+
+    bytes_allowed: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    parts: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Alternate(Node):
+    options: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    node: Node
+    minimum: int
+    maximum: Optional[int]  # None = unbounded
+
+
+ANY_BYTE = frozenset(range(256))
+DIGITS = frozenset(range(ord("0"), ord("9") + 1))
+WORD = frozenset(
+    set(range(ord("a"), ord("z") + 1))
+    | set(range(ord("A"), ord("Z") + 1))
+    | set(DIGITS)
+    | {ord("_")}
+)
+SPACE = frozenset({ord(" "), ord("\t"), ord("\n"), ord("\r"), 0x0B, 0x0C})
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def advance(self) -> str:
+        char = self.pattern[self.pos]
+        self.pos += 1
+        return char
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise RegexSyntaxError(
+                f"expected {char!r} at position {self.pos} in {self.pattern!r}"
+            )
+        self.advance()
+
+    # alternation := concat ('|' concat)*
+    def parse_alternation(self) -> Node:
+        options = [self.parse_concat()]
+        while self.peek() == "|":
+            self.advance()
+            options.append(self.parse_concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternate(tuple(options))
+
+    def parse_concat(self) -> Node:
+        parts: List[Node] = []
+        while self.peek() not in (None, "|", ")"):
+            parts.append(self.parse_quantified())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def parse_quantified(self) -> Node:
+        atom = self.parse_atom()
+        char = self.peek()
+        if char == "*":
+            self.advance()
+            return Repeat(atom, 0, None)
+        if char == "+":
+            self.advance()
+            return Repeat(atom, 1, None)
+        if char == "?":
+            self.advance()
+            return Repeat(atom, 0, 1)
+        if char == "{":
+            return self._parse_counted(atom)
+        return atom
+
+    def _parse_counted(self, atom: Node) -> Node:
+        self.expect("{")
+        minimum = self._parse_int()
+        maximum: Optional[int] = minimum
+        if self.peek() == ",":
+            self.advance()
+            if self.peek() == "}":
+                maximum = None
+            else:
+                maximum = self._parse_int()
+        self.expect("}")
+        if maximum is not None and maximum < minimum:
+            raise RegexSyntaxError(f"bad repeat bounds in {self.pattern!r}")
+        return Repeat(atom, minimum, maximum)
+
+    def _parse_int(self) -> int:
+        digits = ""
+        while self.peek() is not None and self.peek().isdigit():
+            digits += self.advance()
+        if not digits:
+            raise RegexSyntaxError(f"expected number at {self.pos} in {self.pattern!r}")
+        return int(digits)
+
+    def parse_atom(self) -> Node:
+        char = self.peek()
+        if char is None:
+            raise RegexSyntaxError(f"unexpected end of pattern {self.pattern!r}")
+        if char == "(":
+            self.advance()
+            inner = self.parse_alternation()
+            self.expect(")")
+            return inner
+        if char == "[":
+            return self._parse_class()
+        if char == ".":
+            self.advance()
+            return Literal(ANY_BYTE)
+        if char == "\\":
+            return Literal(frozenset(self._parse_escape()))
+        if char in "*+?{":
+            raise RegexSyntaxError(f"dangling quantifier at {self.pos} in {self.pattern!r}")
+        self.advance()
+        return Literal(frozenset({ord(char)}))
+
+    def _parse_escape(self) -> FrozenSet[int]:
+        self.expect("\\")
+        char = self.peek()
+        if char is None:
+            raise RegexSyntaxError(f"trailing backslash in {self.pattern!r}")
+        self.advance()
+        if char == "x":
+            digits = ""
+            for _ in range(2):
+                nxt = self.peek()
+                if nxt is None or nxt not in "0123456789abcdefABCDEF":
+                    raise RegexSyntaxError(f"bad \\x escape in {self.pattern!r}")
+                digits += self.advance()
+            return frozenset({int(digits, 16)})
+        simple = {"n": 10, "r": 13, "t": 9, "0": 0}
+        if char in simple:
+            return frozenset({simple[char]})
+        if char == "d":
+            return DIGITS
+        if char == "D":
+            return frozenset(ANY_BYTE - DIGITS)
+        if char == "w":
+            return WORD
+        if char == "W":
+            return frozenset(ANY_BYTE - WORD)
+        if char == "s":
+            return SPACE
+        if char == "S":
+            return frozenset(ANY_BYTE - SPACE)
+        # Escaped metacharacter or literal.
+        return frozenset({ord(char)})
+
+    def _parse_class(self) -> Node:
+        self.expect("[")
+        negate = False
+        if self.peek() == "^":
+            negate = True
+            self.advance()
+        members: set = set()
+        first = True
+        while True:
+            char = self.peek()
+            if char is None:
+                raise RegexSyntaxError(f"unterminated class in {self.pattern!r}")
+            if char == "]" and not first:
+                self.advance()
+                break
+            first = False
+            if char == "\\":
+                members |= set(self._parse_escape())
+                continue
+            self.advance()
+            low = ord(char)
+            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self.advance()  # '-'
+                high_char = self.advance()
+                high = ord(high_char)
+                if high < low:
+                    raise RegexSyntaxError(f"reversed range in class in {self.pattern!r}")
+                members |= set(range(low, high + 1))
+            else:
+                members.add(low)
+        if negate:
+            members = set(ANY_BYTE) - members
+        if not members:
+            raise RegexSyntaxError(f"empty character class in {self.pattern!r}")
+        return Literal(frozenset(members))
+
+
+def nullable(node: Node) -> bool:
+    """Can the node match the empty string?"""
+    if isinstance(node, Literal):
+        return False
+    if isinstance(node, Concat):
+        return all(nullable(part) for part in node.parts)
+    if isinstance(node, Alternate):
+        return any(nullable(option) for option in node.options)
+    if isinstance(node, Repeat):
+        return node.minimum == 0 or nullable(node.node)
+    raise TypeError(node)
+
+
+def parse(pattern: str) -> Node:
+    """Parse ``pattern`` into an AST; raises RegexSyntaxError when invalid."""
+    parser = _Parser(pattern)
+    node = parser.parse_alternation()
+    if parser.pos != len(pattern):
+        raise RegexSyntaxError(f"trailing garbage at {parser.pos} in {pattern!r}")
+    return node

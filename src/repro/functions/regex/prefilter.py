@@ -1,0 +1,196 @@
+"""Aho-Corasick literal prefilter.
+
+Hyperscan's decisive trick — and the reason the host beats naive scalar
+matchers — is splitting matching into a cheap multi-literal *prefilter*
+over extracted pattern literals and an exact engine that only runs where
+the prefilter fires.  This module implements the real Aho-Corasick
+automaton (goto/fail/output functions) and the literal extraction that
+feeds it, so the two-stage architecture can be built and ablated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .parser import Concat, Literal, Node, Repeat, parse
+
+
+class AhoCorasick:
+    """Multi-literal matcher with classic goto/fail construction."""
+
+    def __init__(self, literals: Sequence[bytes]):
+        if not literals:
+            raise ValueError("need at least one literal")
+        for literal in literals:
+            if not literal:
+                raise ValueError("empty literal")
+        self.literals = list(literals)
+        # state -> {byte: state}
+        self._goto: List[Dict[int, int]] = [{}]
+        self._fail: List[int] = [0]
+        self._output: List[List[int]] = [[]]
+        for index, literal in enumerate(self.literals):
+            self._insert(literal, index)
+        self._build_failure_links()
+
+    def _insert(self, literal: bytes, literal_id: int) -> None:
+        state = 0
+        for byte in literal:
+            nxt = self._goto[state].get(byte)
+            if nxt is None:
+                nxt = len(self._goto)
+                self._goto.append({})
+                self._fail.append(0)
+                self._output.append([])
+                self._goto[state][byte] = nxt
+            state = nxt
+        self._output[state].append(literal_id)
+
+    def _build_failure_links(self) -> None:
+        queue: deque = deque()
+        for byte, state in self._goto[0].items():
+            self._fail[state] = 0
+            queue.append(state)
+        while queue:
+            current = queue.popleft()
+            for byte, nxt in self._goto[current].items():
+                queue.append(nxt)
+                fallback = self._fail[current]
+                while fallback and byte not in self._goto[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[nxt] = self._goto[fallback].get(byte, 0)
+                if self._fail[nxt] == nxt:
+                    self._fail[nxt] = 0
+                self._output[nxt] = self._output[nxt] + self._output[self._fail[nxt]]
+
+    @property
+    def state_count(self) -> int:
+        return len(self._goto)
+
+    def scan(self, payload: bytes) -> List[Tuple[int, int]]:
+        """(literal_id, end_offset) for every occurrence."""
+        state = 0
+        hits: List[Tuple[int, int]] = []
+        for offset, byte in enumerate(payload):
+            while state and byte not in self._goto[state]:
+                state = self._fail[state]
+            state = self._goto[state].get(byte, 0)
+            for literal_id in self._output[state]:
+                hits.append((literal_id, offset + 1))
+        return hits
+
+    def contains_any(self, payload: bytes) -> bool:
+        state = 0
+        for byte in payload:
+            while state and byte not in self._goto[state]:
+                state = self._fail[state]
+            state = self._goto[state].get(byte, 0)
+            if self._output[state]:
+                return True
+        return False
+
+
+def extract_literal(pattern: str, min_length: int = 2) -> Optional[bytes]:
+    """The longest mandatory literal run of a pattern, if one exists.
+
+    Only byte-exact atoms in the top-level concatenation count; anything
+    behind an alternation or an optional quantifier is not mandatory.
+    Patterns without a usable literal cannot be prefiltered (the caller
+    must always run the exact engine for them).
+    """
+    ast = parse(pattern)
+    parts: Sequence[Node]
+    if isinstance(ast, Concat):
+        parts = ast.parts
+    else:
+        parts = (ast,)
+    best = b""
+    current = bytearray()
+    for part in parts:
+        byte = _single_byte(part)
+        if byte is not None:
+            current.append(byte)
+            continue
+        if len(current) > len(best):
+            best = bytes(current)
+        current = bytearray()
+        if isinstance(part, Repeat) and part.minimum > 0:
+            inner = _single_byte(part.node)
+            if inner is not None:
+                run = bytes([inner]) * part.minimum
+                if len(run) > len(best):
+                    best = run
+    if len(current) > len(best):
+        best = bytes(current)
+    return best if len(best) >= min_length else None
+
+
+def _single_byte(node: Node) -> Optional[int]:
+    if isinstance(node, Literal) and len(node.bytes_allowed) == 1:
+        return next(iter(node.bytes_allowed))
+    return None
+
+
+@dataclass
+class PrefilterReport:
+    """Outcome of a prefiltered scan batch."""
+
+    packets: int
+    prefilter_passes: int  # packets the exact engine had to scan
+    matches: int
+
+    @property
+    def pass_rate(self) -> float:
+        return self.prefilter_passes / self.packets if self.packets else 0.0
+
+
+class PrefilteredMatcher:
+    """The two-stage architecture: AC literals in front of the exact DFA.
+
+    Patterns with no extractable literal go into an *always-scan* set:
+    the exact engine runs on every packet regardless (which is why rule
+    authors care about literal-free rules).
+    """
+
+    def __init__(self, patterns: Sequence[str], min_literal: int = 2):
+        from .engine import MultiPatternMatcher
+
+        self.exact = MultiPatternMatcher(list(patterns))
+        literals = []
+        self.filterable: List[int] = []
+        self.unfilterable: List[int] = []
+        for index, pattern in enumerate(patterns):
+            literal = extract_literal(pattern, min_length=min_literal)
+            if literal is None:
+                self.unfilterable.append(index)
+            else:
+                self.filterable.append(index)
+                literals.append(literal)
+        self.prefilter = AhoCorasick(literals) if literals else None
+
+    def scan(self, payload: bytes):
+        """Same interface as MultiPatternMatcher.scan, plus a flag telling
+        whether the exact engine actually ran."""
+        must_scan = bool(self.unfilterable)
+        if not must_scan and self.prefilter is not None:
+            must_scan = self.prefilter.contains_any(payload)
+        if not must_scan:
+            from .engine import ScanStats
+
+            return [], ScanStats(bytes_scanned=len(payload), deep_visits=0,
+                                 matches=0), False
+        matches, stats = self.exact.scan(payload)
+        return matches, stats, True
+
+    def scan_batch(self, payloads: Sequence[bytes]) -> PrefilterReport:
+        passes = 0
+        matches = 0
+        for payload in payloads:
+            found, _, scanned = self.scan(payload)
+            passes += int(scanned)
+            matches += len(found)
+        return PrefilterReport(
+            packets=len(payloads), prefilter_passes=passes, matches=matches
+        )

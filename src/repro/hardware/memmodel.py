@@ -1,0 +1,130 @@
+"""Memory-hierarchy latency model.
+
+Several calibrated work-unit costs (NAT's cold lookups, MICA's cache-cold
+value movement, hash probes) encode the gap between the host's deep cache
+hierarchy + six DRAM channels and the BlueField-2's small caches + single
+channel.  This model derives those costs from the hardware specs so the
+calibration can be *checked* rather than trusted: given a working-set
+size and an access pattern, it predicts average access latency in cycles
+from per-level hit rates.
+
+It is intentionally simple — inclusive caches, working-set-ratio hit
+rates, no prefetching — but it reproduces the crossover structure that
+matters: both platforms degrade as working sets grow, and the SNIC
+degrades earlier and harder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .specs import BLUEFIELD2_CPU, CpuSpec, HOST_CPU, MemorySpec
+
+# Representative load-to-use latencies (cycles).
+_LEVEL_LATENCY_CYCLES = {"l1": 4.0, "l2": 14.0, "llc": 42.0}
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    name: str
+    capacity_bytes: int
+    latency_cycles: float
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """How a working set is touched."""
+
+    working_set_bytes: int
+    # 0 = perfectly sequential (prefetch-friendly), 1 = fully random.
+    randomness: float = 1.0
+    # Dependent loads cannot overlap; independent ones pipeline.
+    dependent: bool = True
+
+    def __post_init__(self):
+        if self.working_set_bytes <= 0:
+            raise ValueError("working set must be positive")
+        if not 0.0 <= self.randomness <= 1.0:
+            raise ValueError("randomness in [0, 1]")
+
+
+class MemoryHierarchy:
+    """Cache levels + DRAM for one platform."""
+
+    def __init__(self, cpu: CpuSpec, memory: MemorySpec,
+                 dram_latency_ns: float):
+        cache = cpu.cache
+        self.cpu = cpu
+        self.levels: List[MemoryLevel] = [
+            MemoryLevel("l1", cache.l1d_kb * 1024, _LEVEL_LATENCY_CYCLES["l1"]),
+            MemoryLevel("l2", cache.l2_kb * 1024, _LEVEL_LATENCY_CYCLES["l2"]),
+            MemoryLevel("llc", cache.llc_kb * 1024, _LEVEL_LATENCY_CYCLES["llc"]),
+        ]
+        self.dram_latency_cycles = dram_latency_ns * 1e-9 * cpu.frequency_hz
+        self.memory = memory
+
+    def hit_rates(self, pattern: AccessPattern) -> List[Tuple[str, float]]:
+        """Per-level hit probability for the pattern, top-down."""
+        rates: List[Tuple[str, float]] = []
+        remaining = 1.0
+        for level in self.levels:
+            if pattern.working_set_bytes <= level.capacity_bytes:
+                contained = 1.0
+            else:
+                contained = level.capacity_bytes / pattern.working_set_bytes
+            # Sequential access hides misses behind prefetch: treat a
+            # (1-randomness) share of would-be misses as hits.
+            effective = contained + (1.0 - contained) * (1.0 - pattern.randomness)
+            rates.append((level.name, remaining * effective))
+            remaining *= 1.0 - effective
+        rates.append(("dram", remaining))
+        return rates
+
+    def access_cycles(self, pattern: AccessPattern) -> float:
+        """Expected cycles per access under the pattern."""
+        total = 0.0
+        for name, probability in self.hit_rates(pattern):
+            latency = (
+                self.dram_latency_cycles
+                if name == "dram"
+                else next(l.latency_cycles for l in self.levels if l.name == name)
+            )
+            total += probability * latency
+        if not pattern.dependent:
+            # Independent accesses overlap; a memory-level-parallelism
+            # factor amortizes latency across in-flight misses.
+            total /= min(4.0, max(self.memory.channels, 1))
+        return total
+
+    def streaming_cycles_per_byte(self) -> float:
+        """Cycles per byte of a bandwidth-bound sequential sweep."""
+        bytes_per_cycle = self.memory.bandwidth_gbs * 1e9 / self.cpu.frequency_hz
+        return 1.0 / bytes_per_cycle * self.cpu.cores  # per-core fair share
+
+
+def host_hierarchy() -> MemoryHierarchy:
+    from .specs import SERVER
+
+    return MemoryHierarchy(HOST_CPU, SERVER.memory, dram_latency_ns=85.0)
+
+
+def snic_hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(BLUEFIELD2_CPU, BLUEFIELD2.memory, dram_latency_ns=120.0)
+
+
+# late import guard
+from .specs import BLUEFIELD2  # noqa: E402
+
+
+def lookup_cost_ratio(working_set_bytes: int) -> float:
+    """SNIC/host cycle-cost ratio for one dependent random access into a
+    working set — the quantity behind nat_lookup_cold and
+    kv_value_byte_cold calibration."""
+    pattern = AccessPattern(working_set_bytes=working_set_bytes, randomness=1.0)
+    host_cycles = host_hierarchy().access_cycles(pattern)
+    snic_cycles = snic_hierarchy().access_cycles(pattern)
+    # normalize to seconds (different clocks)
+    host_seconds = host_cycles / HOST_CPU.frequency_hz
+    snic_seconds = snic_cycles / BLUEFIELD2_CPU.frequency_hz
+    return snic_seconds / host_seconds

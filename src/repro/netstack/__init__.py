@@ -1,0 +1,33 @@
+"""Networking stacks: packets, links, UDP, TCP, DPDK, RDMA."""
+
+from .link import DuplexChannel, Link
+from .packet import Flow, Packet, format_ip, ip
+from .udp import UdpEndpoint, UdpSocket, run_echo_server
+from .tcp import TcpConnection, TcpEndpoint, TcpListener, TcpState
+from .dpdk import PollModePort, RxRing, run_poll_loop
+from .rdma import Completion, MemoryRegion, OpCode, QueuePair, RdmaError, RdmaNic
+
+__all__ = [
+    "DuplexChannel",
+    "Link",
+    "Flow",
+    "Packet",
+    "format_ip",
+    "ip",
+    "UdpEndpoint",
+    "UdpSocket",
+    "run_echo_server",
+    "TcpConnection",
+    "TcpEndpoint",
+    "TcpListener",
+    "TcpState",
+    "PollModePort",
+    "RxRing",
+    "run_poll_loop",
+    "Completion",
+    "MemoryRegion",
+    "OpCode",
+    "QueuePair",
+    "RdmaError",
+    "RdmaNic",
+]

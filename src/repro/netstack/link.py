@@ -1,0 +1,92 @@
+"""A point-to-point network link on the event kernel.
+
+Models the 100 Gbps cable between the client and server (Fig. 3):
+serialization delay from packet size and link rate, fixed propagation
+delay, and optional random loss.  Both stack models and integration tests
+move packets through :class:`Link` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.engine import Simulator
+from ..core.units import gbps_to_bytes_per_second
+from .packet import Packet
+
+Receiver = Callable[[Packet], None]
+
+
+class Link:
+    """Unidirectional link delivering packets to a receiver callback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gbps: float = 100.0,
+        propagation_s: float = 500e-9,
+        loss_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        jitter_s: float = 0.0,
+    ):
+        """``jitter_s`` adds uniform random extra delay per packet, which
+        can reorder deliveries (multi-path / switch-buffer effects)."""
+        if gbps <= 0:
+            raise ValueError("link rate must be positive")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        if jitter_s < 0:
+            raise ValueError("jitter must be non-negative")
+        if (loss_probability or jitter_s) and rng is None:
+            raise ValueError("loss/jitter require an rng")
+        self.sim = sim
+        self.bytes_per_second = gbps_to_bytes_per_second(gbps)
+        self.propagation_s = propagation_s
+        self.loss_probability = loss_probability
+        self.jitter_s = jitter_s
+        self.rng = rng
+        self.receiver: Optional[Receiver] = None
+        self.delivered = 0
+        self.lost = 0
+        self._busy_until = 0.0
+
+    def attach(self, receiver: Receiver) -> None:
+        self.receiver = receiver
+
+    def send(self, packet: Packet) -> None:
+        """Queue a packet for transmission (FIFO serialization)."""
+        if self.receiver is None:
+            raise RuntimeError("link has no receiver attached")
+        if self.loss_probability and self.rng is not None:
+            if self.rng.random() < self.loss_probability:
+                self.lost += 1
+                return
+        serialization = packet.wire_bytes / self.bytes_per_second
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + serialization
+        arrival_delay = (start - self.sim.now) + serialization + self.propagation_s
+        if self.jitter_s and self.rng is not None:
+            arrival_delay += float(self.rng.uniform(0.0, self.jitter_s))
+        event = self.sim.timeout(arrival_delay, packet)
+
+        def _deliver(fired) -> None:
+            self.delivered += 1
+            self.receiver(fired.value)
+
+        event.add_callback(_deliver)
+
+
+class DuplexChannel:
+    """A pair of links between two endpoints."""
+
+    def __init__(self, sim: Simulator, gbps: float = 100.0,
+                 propagation_s: float = 500e-9,
+                 loss_probability: float = 0.0,
+                 rng: Optional[np.random.Generator] = None,
+                 jitter_s: float = 0.0):
+        self.forward = Link(sim, gbps, propagation_s, loss_probability, rng,
+                            jitter_s)
+        self.backward = Link(sim, gbps, propagation_s, loss_probability, rng,
+                             jitter_s)

@@ -1,0 +1,84 @@
+"""Packet and flow primitives shared by the stack models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+FiveTuple = Tuple[int, int, int, int, int]  # proto, src_ip, src_port, dst_ip, dst_port
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+ETHERNET_HEADER = 14
+IPV4_HEADER = 20
+UDP_HEADER = 8
+TCP_HEADER = 20
+
+
+@dataclass
+class Packet:
+    """A network packet: addressing, payload, and simulation bookkeeping."""
+
+    proto: int
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    payload: bytes = b""
+    # TCP-specific fields (ignored by UDP paths)
+    seq: int = 0
+    ack: int = 0
+    flags: frozenset = frozenset()
+    # simulation bookkeeping
+    created_at: float = 0.0
+    packet_id: int = 0
+
+    @property
+    def five_tuple(self) -> FiveTuple:
+        return (self.proto, self.src_ip, self.src_port, self.dst_ip, self.dst_port)
+
+    @property
+    def header_bytes(self) -> int:
+        transport = TCP_HEADER if self.proto == PROTO_TCP else UDP_HEADER
+        return ETHERNET_HEADER + IPV4_HEADER + transport
+
+    @property
+    def wire_bytes(self) -> int:
+        return max(self.header_bytes + len(self.payload), 64)
+
+    def reply_template(self, payload: bytes = b"") -> "Packet":
+        """A packet heading back to this packet's sender."""
+        return Packet(
+            proto=self.proto,
+            src_ip=self.dst_ip,
+            src_port=self.dst_port,
+            dst_ip=self.src_ip,
+            dst_port=self.src_port,
+            payload=payload,
+        )
+
+
+def ip(a: int, b: int, c: int, d: int) -> int:
+    """Dotted-quad to integer address."""
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError("bad IPv4 octet")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def format_ip(address: int) -> str:
+    return ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass
+class Flow:
+    """A unidirectional packet flow description used by generators."""
+
+    five_tuple: FiveTuple
+    packet_bytes: int
+    rate_pps: float
+    start: float = 0.0
+    duration: Optional[float] = None
+    label: str = ""
+    _sent: int = field(default=0, repr=False)

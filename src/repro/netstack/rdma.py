@@ -1,0 +1,213 @@
+"""RDMA verbs over simulated NICs.
+
+Models the property that makes RDMA functions SNIC-friendly (§4, Key
+Observation 1): the transport runs *in NIC hardware*, so one-sided READ /
+WRITE complete against the remote memory region with no remote-CPU
+involvement, and two-sided SEND/RECV only deliver completions.  Queue
+pairs use the reliable-connection (RC) transport the paper selects.
+
+The latency model separates the wire from the *local bus*: a host-CPU
+initiator reaches its NIC across PCIe (two crossings per operation),
+while the SNIC CPU sits next to the NIC — this path difference is why the
+paper measures up to 1.4x message rate and ~15-24 % lower p99 from the
+SNIC side.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Deque, Dict, Optional, Tuple
+
+from ..core.engine import Event, Simulator
+from ..core.units import gbps_to_bytes_per_second
+
+
+class RdmaError(RuntimeError):
+    pass
+
+
+class OpCode(Enum):
+    SEND = "send"
+    RECV = "recv"
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class MemoryRegion:
+    """A registered buffer addressable by remote one-sided operations."""
+
+    key: int
+    buffer: bytearray
+
+    def read(self, offset: int, length: int) -> bytes:
+        if offset < 0 or offset + length > len(self.buffer):
+            raise RdmaError("remote read out of bounds")
+        return bytes(self.buffer[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset < 0 or offset + len(data) > len(self.buffer):
+            raise RdmaError("remote write out of bounds")
+        self.buffer[offset : offset + len(data)] = data
+
+
+@dataclass
+class Completion:
+    opcode: OpCode
+    ok: bool
+    data: bytes = b""
+    wr_id: int = 0
+
+
+class RdmaNic:
+    """The NIC-resident RDMA engine of one node."""
+
+    def __init__(self, sim: Simulator, node_id: int, gbps: float = 100.0,
+                 local_bus_latency_s: float = 900e-9,
+                 nic_processing_s: float = 250e-9):
+        self.sim = sim
+        self.node_id = node_id
+        self.bytes_per_second = gbps_to_bytes_per_second(gbps)
+        self.local_bus_latency_s = local_bus_latency_s
+        self.nic_processing_s = nic_processing_s
+        self.regions: Dict[int, MemoryRegion] = {}
+        self._next_key = 1
+        self.operations = 0
+
+    def register_memory(self, size_or_buffer) -> MemoryRegion:
+        buffer = (
+            bytearray(size_or_buffer)
+            if isinstance(size_or_buffer, int)
+            else bytearray(size_or_buffer)
+        )
+        region = MemoryRegion(self._next_key, buffer)
+        self.regions[region.key] = region
+        self._next_key += 1
+        return region
+
+
+class QueuePair:
+    """An RC queue pair between two NICs."""
+
+    def __init__(self, sim: Simulator, local: RdmaNic, remote: RdmaNic,
+                 wire_latency_s: float = 600e-9):
+        self.sim = sim
+        self.local = local
+        self.remote = remote
+        self.wire_latency_s = wire_latency_s
+        self.completion_queue: Deque[Completion] = deque()
+        self._cq_waiters: Deque[Event] = deque()
+        self._recv_queue: Deque[Tuple[int, int]] = deque()  # (wr_id, max_len)
+        self.peer: Optional["QueuePair"] = None
+
+    def connect(self, peer: "QueuePair") -> None:
+        self.peer = peer
+        peer.peer = self
+
+    # -- verbs ---------------------------------------------------------------
+
+    def post_recv(self, wr_id: int, max_len: int = 4096) -> None:
+        self._recv_queue.append((wr_id, max_len))
+
+    def post_send(self, data: bytes, wr_id: int = 0) -> Event:
+        """Two-sided SEND; completes locally when the remote consumed it."""
+        self._require_peer()
+        delay = self._operation_latency(len(data))
+        done = self.sim.timeout(delay)
+        completion_event = Event(self.sim)
+
+        def _on_arrival(_event) -> None:
+            peer = self.peer
+            ok = bool(peer._recv_queue)
+            if ok:
+                recv_wr, max_len = peer._recv_queue.popleft()
+                ok = len(data) <= max_len
+                peer._complete(Completion(OpCode.RECV, ok, data, recv_wr))
+            self._complete(Completion(OpCode.SEND, ok, b"", wr_id))
+            completion_event.trigger(ok)
+
+        done.add_callback(_on_arrival)
+        self.local.operations += 1
+        return completion_event
+
+    def read(self, remote_key: int, offset: int, length: int, wr_id: int = 0) -> Event:
+        """One-sided READ from the remote region; no remote CPU involved."""
+        self._require_peer()
+        delay = self._operation_latency(length, round_trip=True)
+        done = self.sim.timeout(delay)
+        completion_event = Event(self.sim)
+
+        def _on_done(_event) -> None:
+            try:
+                region = self._remote_region(remote_key)
+                data = region.read(offset, length)
+                completion = Completion(OpCode.READ, True, data, wr_id)
+            except RdmaError:
+                completion = Completion(OpCode.READ, False, b"", wr_id)
+            self._complete(completion)
+            completion_event.trigger(completion)
+
+        done.add_callback(_on_done)
+        self.local.operations += 1
+        return completion_event
+
+    def write(self, remote_key: int, offset: int, data: bytes, wr_id: int = 0) -> Event:
+        """One-sided WRITE into the remote region."""
+        self._require_peer()
+        delay = self._operation_latency(len(data))
+        done = self.sim.timeout(delay)
+        completion_event = Event(self.sim)
+
+        def _on_done(_event) -> None:
+            try:
+                region = self._remote_region(remote_key)
+                region.write(offset, data)
+                completion = Completion(OpCode.WRITE, True, b"", wr_id)
+            except RdmaError:
+                completion = Completion(OpCode.WRITE, False, b"", wr_id)
+            self._complete(completion)
+            completion_event.trigger(completion)
+
+        done.add_callback(_on_done)
+        self.local.operations += 1
+        return completion_event
+
+    def poll_cq(self) -> Event:
+        """Event firing with the next completion."""
+        event = Event(self.sim)
+        if self.completion_queue:
+            event.trigger(self.completion_queue.popleft())
+        else:
+            self._cq_waiters.append(event)
+        return event
+
+    # -- internals -----------------------------------------------------------
+
+    def _require_peer(self) -> None:
+        if self.peer is None:
+            raise RdmaError("queue pair not connected")
+
+    def _remote_region(self, key: int) -> MemoryRegion:
+        region = self.remote.regions.get(key)
+        if region is None:
+            raise RdmaError(f"unknown remote key {key}")
+        return region
+
+    def _operation_latency(self, nbytes: int, round_trip: bool = False) -> float:
+        transfer = nbytes / self.local.bytes_per_second
+        one_way = (
+            self.local.local_bus_latency_s
+            + self.local.nic_processing_s
+            + self.wire_latency_s
+            + self.remote.nic_processing_s
+        )
+        wire_crossings = 2 if round_trip else 1
+        return one_way * wire_crossings + transfer
+
+    def _complete(self, completion: Completion) -> None:
+        if self._cq_waiters:
+            self._cq_waiters.popleft().trigger(completion)
+        else:
+            self.completion_queue.append(completion)

@@ -1,0 +1,120 @@
+"""UDP endpoints over the link model.
+
+Connectionless datagram sockets: no delivery guarantee (the link may
+drop), per-socket bounded receive queues (overflow drops, as the kernel
+does when an application falls behind), and a simple request/reply echo
+server used by the UDP microbenchmark (§3.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..core.engine import Event, Simulator
+from .link import Link
+from .packet import PROTO_UDP, Packet
+
+
+class UdpEndpoint:
+    """One host's UDP layer: sockets keyed by local port."""
+
+    def __init__(self, sim: Simulator, address: int, egress: Link,
+                 receive_queue_packets: int = 1024):
+        self.sim = sim
+        self.address = address
+        self.egress = egress
+        self.receive_queue_packets = receive_queue_packets
+        self._sockets: Dict[int, "UdpSocket"] = {}
+        self.dropped_no_socket = 0
+        self._packet_ids = itertools.count(1)
+
+    def bind(self, port: int) -> "UdpSocket":
+        if port in self._sockets:
+            raise OSError(f"port {port} already bound")
+        socket = UdpSocket(self, port)
+        self._sockets[port] = socket
+        return socket
+
+    def close(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the ingress link."""
+        socket = self._sockets.get(packet.dst_port)
+        if socket is None:
+            self.dropped_no_socket += 1
+            return
+        socket._enqueue(packet)
+
+    def send(self, packet: Packet) -> None:
+        packet.created_at = self.sim.now
+        if packet.packet_id == 0:
+            packet.packet_id = next(self._packet_ids)
+        self.egress.send(packet)
+
+
+class UdpSocket:
+    """A bound datagram socket with a bounded receive queue."""
+
+    def __init__(self, endpoint: UdpEndpoint, port: int):
+        self.endpoint = endpoint
+        self.port = port
+        self._queue: Deque[Packet] = deque()
+        self._waiters: Deque[Event] = deque()
+        self.overflow_drops = 0
+
+    def sendto(self, payload: bytes, dst_ip: int, dst_port: int) -> None:
+        packet = Packet(
+            proto=PROTO_UDP,
+            src_ip=self.endpoint.address,
+            src_port=self.port,
+            dst_ip=dst_ip,
+            dst_port=dst_port,
+            payload=payload,
+        )
+        self.endpoint.send(packet)
+
+    def _enqueue(self, packet: Packet) -> None:
+        if self._waiters:
+            self._waiters.popleft().trigger(packet)
+            return
+        if len(self._queue) >= self.endpoint.receive_queue_packets:
+            self.overflow_drops += 1
+            return
+        self._queue.append(packet)
+
+    def recv(self) -> Event:
+        """Event firing with the next datagram."""
+        event = Event(self.endpoint.sim)
+        if self._queue:
+            event.trigger(self._queue.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+
+def run_echo_server(
+    sim: Simulator,
+    socket: UdpSocket,
+    transform: Optional[Callable[[bytes], bytes]] = None,
+    count: Optional[int] = None,
+):
+    """A server process answering each datagram (optionally transformed)."""
+
+    def server():
+        handled = 0
+        while count is None or handled < count:
+            packet = yield socket.recv()
+            payload = transform(packet.payload) if transform else packet.payload
+            reply = packet.reply_template(payload)
+            socket.endpoint.send(reply)
+            handled += 1
+        return handled
+
+    return sim.process(server(), name=f"udp-echo:{socket.port}")

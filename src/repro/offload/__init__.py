@@ -1,0 +1,29 @@
+"""Offload strategies (§5.3): placement advisor and load balancing."""
+
+from .advisor import (
+    PlacementDecision,
+    PlatformPrediction,
+    placement_table,
+    predict_platform,
+    recommend,
+)
+from .loadbalancer import (
+    BalancerConfig,
+    BalancerOutcome,
+    hardware_balancer,
+    simulate_balancer,
+    snic_cpu_balancer,
+)
+
+__all__ = [
+    "PlacementDecision",
+    "PlatformPrediction",
+    "placement_table",
+    "predict_platform",
+    "recommend",
+    "BalancerConfig",
+    "BalancerOutcome",
+    "hardware_balancer",
+    "simulate_balancer",
+    "snic_cpu_balancer",
+]

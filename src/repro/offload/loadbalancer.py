@@ -1,0 +1,169 @@
+"""Host/SNIC load balancing (Strategy 3, §5.3).
+
+The paper's preliminary investigation: a load balancer implemented on the
+BlueField-2 CPU "consumes most of the SNIC CPU cycles simply to monitor
+packets at high rates and cannot redirect packets fast enough to meet SLO
+constraints", hence the call for hardware support.  This module builds
+both balancers so that claim is measurable:
+
+* :class:`SnicCpuBalancer` — per-packet monitoring costs SNIC CPU cycles
+  (reducing the capacity left for the function) and redirect decisions
+  react after a monitoring/telemetry delay;
+* :class:`HardwareBalancer` — the proposed design: zero monitoring cost,
+  immediate backlog visibility.
+
+Both run the same threshold policy: send a packet to the host when the
+SNIC path's (observed) backlog exceeds a bound.  `simulate_balancer`
+drives either over an arrival stream and reports per-path latency, loss,
+and the split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class BalancerConfig:
+    """Capacities are request rates; backlogs are seconds of queued work."""
+
+    snic_service_s: float
+    host_service_s: float
+    snic_cores: int = 8
+    host_cores: int = 8
+    redirect_threshold_s: float = 50e-6  # observed SNIC backlog bound
+    snic_queue_limit_s: float = 500e-6
+    host_queue_limit_s: float = 500e-6
+    # SNIC-CPU implementation overheads (zero for the hardware design)
+    monitor_cost_s: float = 0.0  # per packet, charged to the SNIC path
+    reaction_delay_s: float = 0.0  # staleness of the observed backlog
+
+
+@dataclass
+class BalancerOutcome:
+    sent_to_snic: int
+    sent_to_host: int
+    dropped: int
+    p99_latency_s: float
+    mean_latency_s: float
+    snic_monitor_utilization: float
+
+    @property
+    def host_fraction(self) -> float:
+        total = self.sent_to_snic + self.sent_to_host
+        return self.sent_to_host / total if total else 0.0
+
+    @property
+    def loss_fraction(self) -> float:
+        total = self.sent_to_snic + self.sent_to_host + self.dropped
+        return self.dropped / total if total else 0.0
+
+
+def simulate_balancer(
+    config: BalancerConfig,
+    rate: float,
+    n_packets: int,
+    rng: np.random.Generator,
+) -> BalancerOutcome:
+    """Run the threshold policy over a Poisson arrival stream.
+
+    Each path is a fluid FIFO (per-core sharding folded into an effective
+    service time); the balancer observes the SNIC backlog with
+    ``reaction_delay_s`` staleness, and every packet pays
+    ``monitor_cost_s`` of SNIC CPU time whether or not it is redirected —
+    that is what starves the SNIC-CPU implementation at high rates.
+    """
+    gaps = rng.exponential(1.0 / rate, size=n_packets)
+    arrivals = np.cumsum(gaps)
+    snic_effective = config.snic_service_s / config.snic_cores
+    host_effective = config.host_service_s / config.host_cores
+    monitor_effective = config.monitor_cost_s / config.snic_cores
+
+    snic_backlog = 0.0
+    host_backlog = 0.0
+    history: list = []  # (time, backlog) for delayed observation
+    latencies = np.empty(n_packets)
+    kept = 0
+    to_snic = to_host = dropped = 0
+    monitor_busy = 0.0
+    previous = 0.0
+
+    for index in range(n_packets):
+        now = arrivals[index]
+        elapsed = now - previous
+        previous = now
+        snic_backlog = max(0.0, snic_backlog - elapsed)
+        host_backlog = max(0.0, host_backlog - elapsed)
+
+        # Monitoring happens on the SNIC CPU for every packet.
+        snic_backlog += monitor_effective
+        monitor_busy += config.monitor_cost_s
+
+        if config.reaction_delay_s > 0.0:
+            history.append((now, snic_backlog))
+            cutoff = now - config.reaction_delay_s
+            observed = 0.0
+            while len(history) > 1 and history[1][0] <= cutoff:
+                history.pop(0)
+            if history and history[0][0] <= cutoff:
+                observed = history[0][1]
+        else:
+            observed = snic_backlog
+
+        if observed <= config.redirect_threshold_s:
+            if snic_backlog > config.snic_queue_limit_s:
+                dropped += 1
+                continue
+            snic_backlog += snic_effective
+            latencies[kept] = snic_backlog
+            to_snic += 1
+        else:
+            if host_backlog > config.host_queue_limit_s:
+                dropped += 1
+                continue
+            host_backlog += host_effective
+            latencies[kept] = host_backlog
+            to_host += 1
+        kept += 1
+
+    latencies = latencies[:kept]
+    duration = float(arrivals[-1]) if n_packets else 0.0
+    return BalancerOutcome(
+        sent_to_snic=to_snic,
+        sent_to_host=to_host,
+        dropped=dropped,
+        p99_latency_s=float(np.percentile(latencies, 99)) if kept else float("inf"),
+        mean_latency_s=float(np.mean(latencies)) if kept else float("inf"),
+        snic_monitor_utilization=(
+            monitor_busy / (duration * config.snic_cores) if duration else 0.0
+        ),
+    )
+
+
+def snic_cpu_balancer(snic_service_s: float, host_service_s: float,
+                      **overrides) -> BalancerConfig:
+    """The BlueField-2-CPU implementation the paper found wanting: ~600
+    cycles of per-packet monitoring on the A72s and telemetry staleness."""
+    defaults = dict(
+        monitor_cost_s=600 / 2.0e9,
+        reaction_delay_s=100e-6,
+    )
+    defaults.update(overrides)
+    return BalancerConfig(
+        snic_service_s=snic_service_s, host_service_s=host_service_s, **defaults
+    )
+
+
+def hardware_balancer(snic_service_s: float, host_service_s: float,
+                      **overrides) -> BalancerConfig:
+    """The proposed hardware design: free monitoring, immediate reaction."""
+    return BalancerConfig(
+        snic_service_s=snic_service_s,
+        host_service_s=host_service_s,
+        monitor_cost_s=0.0,
+        reaction_delay_s=0.0,
+        **overrides,
+    )

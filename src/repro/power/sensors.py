@@ -1,0 +1,145 @@
+"""Power measurement instruments (§3.2).
+
+Two instruments, with the paper's exact characteristics:
+
+* :class:`BmcSensor` — the DCMI/IPMI path through the baseboard
+  management controller: 1 Hz sampling, ±1 W accuracy, whole-server scope
+  (it cannot isolate a PCIe device);
+* :class:`YoctoWattSensor` — the custom riser-card setup: 10 Hz sampling,
+  ±2 mW accuracy, per-rail scope.  :class:`RiserCardSetup` combines the
+  two sensors tapping the 12 V and 3.3 V PCIe pins.
+
+Both sample a ``power_fn(t) -> watts`` ground truth through the event
+kernel, so traces line up with whatever workload the simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.engine import Simulator
+
+PowerFn = Callable[[float], float]
+
+
+@dataclass
+class PowerTrace:
+    """Timestamped sensor readings."""
+
+    times: List[float] = field(default_factory=list)
+    watts: List[float] = field(default_factory=list)
+
+    def append(self, t: float, w: float) -> None:
+        self.times.append(t)
+        self.watts.append(w)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def average(self) -> float:
+        if not self.watts:
+            return 0.0
+        return float(np.mean(self.watts))
+
+    def energy_joules(self) -> float:
+        """Trapezoidal energy over the trace."""
+        if len(self.watts) < 2:
+            return 0.0
+        integrate = getattr(np, "trapezoid", None) or np.trapz
+        return float(integrate(self.watts, self.times))
+
+
+class PowerSensor:
+    """A periodic sampler with quantization and accuracy error."""
+
+    def __init__(self, sample_hz: float, accuracy_w: float,
+                 resolution_w: float, rng: Optional[np.random.Generator] = None,
+                 name: str = "sensor"):
+        if sample_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        self.sample_hz = sample_hz
+        self.accuracy_w = accuracy_w
+        self.resolution_w = resolution_w
+        self.rng = rng
+        self.name = name
+
+    def reading(self, true_watts: float) -> float:
+        value = true_watts
+        if self.rng is not None and self.accuracy_w > 0:
+            value += float(self.rng.uniform(-self.accuracy_w, self.accuracy_w))
+        if self.resolution_w > 0:
+            value = round(value / self.resolution_w) * self.resolution_w
+        return max(value, 0.0)
+
+    def attach(self, sim: Simulator, power_fn: PowerFn,
+               duration: Optional[float] = None) -> PowerTrace:
+        """Start sampling on the kernel; returns the (live) trace."""
+        trace = PowerTrace()
+        period = 1.0 / self.sample_hz
+
+        def sampler():
+            while duration is None or sim.now < duration:
+                trace.append(sim.now, self.reading(power_fn(sim.now)))
+                yield sim.timeout(period)
+
+        sim.process(sampler(), name=f"power-sensor:{self.name}")
+        return trace
+
+
+class BmcSensor(PowerSensor):
+    """DCMI via ipmitool: 1 Hz, ±1 W, system-wide (§3.2)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        super().__init__(sample_hz=1.0, accuracy_w=1.0, resolution_w=1.0,
+                         rng=rng, name="bmc-dcmi")
+
+
+class YoctoWattSensor(PowerSensor):
+    """Yocto-Watt on a PCIe rail: 10 Hz, ±2 mW (§3.2)."""
+
+    def __init__(self, rail: str, rng: Optional[np.random.Generator] = None):
+        super().__init__(sample_hz=10.0, accuracy_w=0.002, resolution_w=0.001,
+                         rng=rng, name=f"yocto-watt:{rail}")
+        self.rail = rail
+
+
+# PCIe slots power devices mostly from 12 V with a small 3.3 V share.
+RAIL_SPLIT = {"12V": 0.88, "3.3V": 0.12}
+
+
+class RiserCardSetup:
+    """The custom measurement rig of Fig. 3: a riser card exposing the
+    12 V and 3.3 V pins to two Yocto-Watt sensors."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self.sensor_12v = YoctoWattSensor("12V", rng)
+        self.sensor_3v3 = YoctoWattSensor("3.3V", rng)
+
+    def attach(self, sim: Simulator, device_power_fn: PowerFn,
+               duration: Optional[float] = None) -> Tuple[PowerTrace, PowerTrace]:
+        trace_12v = self.sensor_12v.attach(
+            sim, lambda t: device_power_fn(t) * RAIL_SPLIT["12V"], duration
+        )
+        trace_3v3 = self.sensor_3v3.attach(
+            sim, lambda t: device_power_fn(t) * RAIL_SPLIT["3.3V"], duration
+        )
+        return trace_12v, trace_3v3
+
+    @staticmethod
+    def device_power(trace_12v: PowerTrace, trace_3v3: PowerTrace) -> float:
+        """Total device power = sum of the rail averages."""
+        return trace_12v.average() + trace_3v3.average()
+
+
+def validate_isolation(
+    server_with_device_w: float,
+    server_without_device_w: float,
+    device_w: float,
+    tolerance_w: float = 3.0,
+) -> bool:
+    """The paper's validation: (server with SNIC) - (server without SNIC)
+    must approximately equal the riser-card measurement of the SNIC."""
+    return abs((server_with_device_w - server_without_device_w) - device_w) <= tolerance_w

@@ -1,0 +1,134 @@
+"""DOCA-style accelerator device on the event kernel (§2.2).
+
+The paper describes how the BlueField-2 engines are actually driven: the
+application "programs a compiled rule set to the accelerator through
+DOCA APIs, and then the BlueField-2 CPU is used to acquire ingress
+network packets..., put the packets in buffers, and submit tasks with
+those buffers to the accelerator; for each task, the accelerator will
+return a list of network packets with matched patterns".
+
+:class:`AcceleratorDevice` reproduces that contract: program() loads a
+workload-specific executor (the real regex matcher, the real DEFLATE),
+submit() enqueues multi-buffer jobs, the engine serves them one job at a
+time with setup latency + per-byte rate, and completions carry the real
+results.  Timing comes from the same calibration as the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..calibration import ACCELERATORS, AcceleratorCalibration
+from ..core.engine import Event, Simulator
+from ..core.resources import Store
+
+Executor = Callable[[bytes], Any]
+
+
+class DocaError(RuntimeError):
+    pass
+
+
+@dataclass
+class Job:
+    """A submitted task: one or more buffers, one completion event."""
+
+    buffers: List[bytes]
+    completion: Event
+    submitted_at: float
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(buffer) for buffer in self.buffers)
+
+
+@dataclass
+class JobResult:
+    results: List[Any]
+    latency_s: float
+    job_bytes: int
+
+
+class AcceleratorDevice:
+    """One engine (rem / compression / crypto) with a DOCA-ish interface."""
+
+    def __init__(self, sim: Simulator, engine: str, mode: Optional[str] = None,
+                 queue_depth: int = 128):
+        if engine not in ACCELERATORS:
+            raise DocaError(f"unknown engine {engine!r}")
+        self.sim = sim
+        self.engine = engine
+        self.calibration: AcceleratorCalibration = ACCELERATORS[engine]
+        mode = mode or next(iter(self.calibration.bytes_per_s))
+        if mode not in self.calibration.bytes_per_s:
+            raise DocaError(f"engine {engine!r} has no mode {mode!r}")
+        self.mode = mode
+        self.bytes_per_s = self.calibration.bytes_per_s[mode]
+        self._executor: Optional[Executor] = None
+        self._queue: Store = Store(sim, capacity=queue_depth, name=f"{engine}-wq")
+        self.jobs_completed = 0
+        self.bytes_processed = 0
+        self._worker = sim.process(self._run(), name=f"{engine}-engine")
+
+    # -- DOCA-ish API --------------------------------------------------------
+
+    def program(self, executor: Executor) -> None:
+        """Load the workload program (compiled rule set, codec, ...)."""
+        self._executor = executor
+
+    def submit(self, buffers: List[bytes]) -> Event:
+        """Submit one job; the returned event fires with a JobResult."""
+        if self._executor is None:
+            raise DocaError(f"engine {self.engine!r} not programmed")
+        if not buffers:
+            raise DocaError("empty job")
+        if len(buffers) > self.calibration.max_batch:
+            raise DocaError(
+                f"job exceeds max batch {self.calibration.max_batch}"
+            )
+        completion = Event(self.sim)
+        job = Job(buffers=buffers, completion=completion,
+                  submitted_at=self.sim.now)
+        self._queue.put(job)
+        return completion
+
+    # -- the engine ----------------------------------------------------------
+
+    def _run(self):
+        while True:
+            job: Job = yield self._queue.get()
+            service = (
+                self.calibration.setup_latency_s
+                + job.total_bytes / self.bytes_per_s
+            )
+            yield self.sim.timeout(service)
+            results = [self._executor(buffer) for buffer in job.buffers]
+            self.jobs_completed += 1
+            self.bytes_processed += job.total_bytes
+            job.completion.trigger(
+                JobResult(
+                    results=results,
+                    latency_s=self.sim.now - job.submitted_at,
+                    job_bytes=job.total_bytes,
+                )
+            )
+
+
+def rem_device(sim: Simulator, ruleset: str) -> AcceleratorDevice:
+    """An REM engine programmed with a compiled rule set."""
+    from ..functions.regex.rulesets import compile_ruleset
+
+    matcher = compile_ruleset(ruleset)
+    device = AcceleratorDevice(sim, "rem")
+    device.program(lambda buffer: matcher.scan(buffer)[0])
+    return device
+
+
+def compression_device(sim: Simulator, level: int = 9) -> AcceleratorDevice:
+    """A deflate engine."""
+    from ..functions.compression import deflate
+
+    device = AcceleratorDevice(sim, "compression", mode="deflate")
+    device.program(lambda buffer: deflate.compress(buffer, level=level).payload)
+    return device

@@ -1,0 +1,185 @@
+"""DPDK-Pktgen application model (the appendix's traffic driver).
+
+The paper's artifact drives every DPDK experiment through Pktgen's
+command console::
+
+    Pktgen: set 0 rate <traffic_rate>
+    Pktgen: set 0 size <bytes>
+    Pktgen: start 0
+    Pktgen: stop 0
+
+This module reproduces that control surface over the event kernel: a
+:class:`PktgenApp` owns ports, accepts those commands (as strings, like
+the console), and emits paced packets to an attached sink while tracking
+the per-port TX statistics Pktgen prints.  The client CPU constraint from
+§3.4 (~70 Gb/s per client core) is modeled as a per-core rate ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.engine import Simulator
+from ..core.units import gbps_to_bytes_per_second, line_rate_pps
+from ..netstack.packet import PROTO_UDP, Packet
+
+Sink = Callable[[Packet], None]
+
+# §3.4: "~70 Gbps speed per client CPU core"
+CLIENT_CORE_GBPS = 70.0
+
+
+class PktgenError(ValueError):
+    pass
+
+
+@dataclass
+class PortConfig:
+    rate_percent: float = 100.0  # of line rate, Pktgen convention
+    size_bytes: int = 64
+    line_rate_gbps: float = 100.0
+    dst_ip: int = 2
+    dst_port: int = 53
+
+    def target_pps(self) -> float:
+        wire_limited = line_rate_pps(self.line_rate_gbps, self.size_bytes)
+        return wire_limited * self.rate_percent / 100.0
+
+
+@dataclass
+class PortStats:
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    started_at: Optional[float] = None
+    stopped_at: Optional[float] = None
+
+    def tx_gbps(self) -> float:
+        if self.started_at is None or self.stopped_at is None:
+            return 0.0
+        span = self.stopped_at - self.started_at
+        return self.tx_bytes * 8 / span / 1e9 if span > 0 else 0.0
+
+
+class PktgenApp:
+    """The traffic generator: ports, console commands, paced emission."""
+
+    def __init__(self, sim: Simulator, ports: int = 1, client_cores: int = 8):
+        if ports < 1:
+            raise PktgenError("need at least one port")
+        self.sim = sim
+        self.client_cores = client_cores
+        self.configs: Dict[int, PortConfig] = {p: PortConfig() for p in range(ports)}
+        self.stats: Dict[int, PortStats] = {p: PortStats() for p in range(ports)}
+        self._sinks: Dict[int, Sink] = {}
+        self._running: Dict[int, bool] = {p: False for p in range(ports)}
+        self._generation: Dict[int, int] = {p: 0 for p in range(ports)}
+
+    def attach(self, port: int, sink: Sink) -> None:
+        self._check_port(port)
+        self._sinks[port] = sink
+
+    # -- the console -------------------------------------------------------
+
+    def command(self, line: str) -> str:
+        """Execute one Pktgen console command; returns a status string."""
+        tokens = line.strip().split()
+        if not tokens:
+            raise PktgenError("empty command")
+        verb = tokens[0].lower()
+        if verb == "set" and len(tokens) == 4:
+            port = self._parse_port(tokens[1])
+            knob, value = tokens[2].lower(), tokens[3]
+            if knob == "rate":
+                rate = float(value)
+                if not 0.0 < rate <= 100.0:
+                    raise PktgenError("rate must be in (0, 100]")
+                self.configs[port].rate_percent = rate
+                return f"port {port} rate {rate}%"
+            if knob == "size":
+                size = int(value)
+                if not 64 <= size <= 9000:
+                    raise PktgenError("size must be in [64, 9000]")
+                self.configs[port].size_bytes = size
+                return f"port {port} size {size}B"
+            raise PktgenError(f"unknown knob {knob!r}")
+        if verb == "start" and len(tokens) == 2:
+            port = self._parse_port(tokens[1])
+            self.start(port)
+            return f"port {port} started"
+        if verb == "stop" and len(tokens) == 2:
+            port = self._parse_port(tokens[1])
+            self.stop(port)
+            return f"port {port} stopped"
+        raise PktgenError(f"unknown command {line!r}")
+
+    # -- control -----------------------------------------------------------
+
+    def effective_pps(self, port: int) -> float:
+        """Requested rate bounded by the wire AND the client CPU (§3.4)."""
+        config = self.configs[port]
+        requested = config.target_pps()
+        cpu_bytes = self.client_cores * gbps_to_bytes_per_second(CLIENT_CORE_GBPS)
+        cpu_bound = cpu_bytes / max(config.size_bytes, 64)
+        return min(requested, cpu_bound)
+
+    def start(self, port: int) -> None:
+        self._check_port(port)
+        if port not in self._sinks:
+            raise PktgenError(f"port {port} has no sink attached")
+        if self._running[port]:
+            return
+        self._running[port] = True
+        self._generation[port] += 1
+        self.stats[port] = PortStats(started_at=self.sim.now)
+        self.sim.process(self._emit(port, self._generation[port]),
+                         name=f"pktgen-port{port}")
+
+    def stop(self, port: int) -> None:
+        self._check_port(port)
+        if self._running[port]:
+            self._running[port] = False
+            self.stats[port].stopped_at = self.sim.now
+
+    def _emit(self, port: int, generation: int):
+        config = self.configs[port]
+        stats = self.stats[port]
+        sink = self._sinks[port]
+        sequence = 0
+        while self._running[port] and self._generation[port] == generation:
+            gap = 1.0 / self.effective_pps(port)
+            yield self.sim.timeout(gap)
+            if not self._running[port] or self._generation[port] != generation:
+                return
+            sequence += 1
+            packet = Packet(
+                proto=PROTO_UDP, src_ip=1, src_port=9000,
+                dst_ip=config.dst_ip, dst_port=config.dst_port,
+                payload=b"\x00" * max(config.size_bytes - 42, 1),
+                packet_id=sequence,
+            )
+            stats.tx_packets += 1
+            stats.tx_bytes += packet.wire_bytes
+            sink(packet)
+
+    def _parse_port(self, token: str) -> int:
+        try:
+            port = int(token)
+        except ValueError:
+            raise PktgenError(f"bad port {token!r}") from None
+        self._check_port(port)
+        return port
+
+    def _check_port(self, port: int) -> None:
+        if port not in self.configs:
+            raise PktgenError(f"no such port {port}")
+
+    def page_stats(self) -> str:
+        """Pktgen's stats page, abbreviated."""
+        lines: List[str] = []
+        for port, stats in sorted(self.stats.items()):
+            lines.append(
+                f"port {port}: tx {stats.tx_packets} pkts, "
+                f"{stats.tx_bytes} bytes, {stats.tx_gbps():.2f} Gb/s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Tests for the TCO model against the paper's arithmetic."""
+
+import pytest
+
+from repro.analysis.tco import (
+    FleetPlan,
+    ServerCosts,
+    compare,
+    format_comparison,
+)
+
+
+class TestServerCosts:
+    def test_paper_totals(self):
+        """§5.2: SNIC server $8,098; NIC server $7,759."""
+        costs = ServerCosts()
+        assert costs.snic_server_usd == pytest.approx(8098.0, abs=10)  # paper quotes 8,098; 6,287+1,817=8,104
+        assert costs.nic_server_usd == pytest.approx(7765.0, abs=10)
+
+
+class TestFleetPlan:
+    def test_energy_accounting(self):
+        plan = FleetPlan(servers=1, power_per_server_w=255.0,
+                         server_cost_usd=8098.0)
+        # 255 W x 5 y x 8760 h = 11,169 kWh — Table 5's "Power use" row
+        assert plan.energy_per_server_kwh == pytest.approx(11_169, rel=0.001)
+        # at $0.162/kWh -> ~$1,809 — Table 5's "Power cost" row
+        assert plan.power_cost_per_server_usd == pytest.approx(1809.4, abs=2.0)
+
+    def test_tco_scales_with_servers(self):
+        one = FleetPlan(1, 255.0, 8098.0).tco_usd
+        ten = FleetPlan(10, 255.0, 8098.0).tco_usd
+        assert ten == pytest.approx(10 * one)
+
+    def test_paper_table5_compress_row(self):
+        """Table 5 Compress: 10 SNIC servers at 255 W -> ~$99,074."""
+        plan = FleetPlan(10, 255.0, ServerCosts().snic_server_usd)
+        assert plan.tco_usd == pytest.approx(99_074, rel=0.005)
+
+
+class TestCompare:
+    def test_equal_fleets_for_comparable_throughput(self):
+        comparison = compare("fio", 257.0, 343.0, throughput_ratio_snic_over_host=1.02)
+        assert comparison.nic_fleet.servers == comparison.snic_fleet.servers == 10
+
+    def test_fleet_grows_with_throughput_ratio(self):
+        comparison = compare("Compress", 255.0, 269.0,
+                             throughput_ratio_snic_over_host=3.5)
+        assert comparison.nic_fleet.servers == 35
+
+    def test_paper_compress_savings(self):
+        """Table 5: 70.7 % savings with the paper's own numbers."""
+        comparison = compare("Compress", 255.0, 269.0,
+                             throughput_ratio_snic_over_host=3.5)
+        assert comparison.savings_fraction == pytest.approx(0.707, abs=0.01)
+
+    def test_paper_fio_savings(self):
+        """Table 5: fio 2.7 % with the paper's power numbers (257/343 W)."""
+        comparison = compare("fio", 257.0, 343.0, throughput_ratio_snic_over_host=1.0)
+        assert comparison.savings_fraction == pytest.approx(0.027, abs=0.006)
+
+    def test_paper_rem_loss(self):
+        """Table 5: REM -2.5 % with 255 W vs 268 W."""
+        comparison = compare("REM", 255.0, 268.0, throughput_ratio_snic_over_host=1.0)
+        assert comparison.savings_fraction == pytest.approx(-0.025, abs=0.006)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            compare("x", 255.0, 269.0, throughput_ratio_snic_over_host=0.0)
+
+    def test_formatting(self):
+        comparison = compare("fio", 257.0, 343.0, 1.0)
+        text = format_comparison([comparison])
+        assert "fio" in text and "savings" in text

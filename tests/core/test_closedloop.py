@@ -1,0 +1,89 @@
+"""Tests for the closed-loop load generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closedloop import simulate_closed_loop
+
+
+def constant(value):
+    return lambda rng, n: np.full(n, value)
+
+
+class TestClosedLoop:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_closed_loop(0, 1, constant(1.0), 10, rng)
+        with pytest.raises(ValueError):
+            simulate_closed_loop(1, 0, constant(1.0), 10, rng)
+
+    def test_depth_one_throughput_is_inverse_service(self):
+        rng = np.random.default_rng(0)
+        result = simulate_closed_loop(1, 4, constant(1e-3), 5000, rng)
+        assert result.throughput_rps == pytest.approx(1000.0, rel=0.01)
+        assert result.mean_latency_s == pytest.approx(1e-3, rel=0.01)
+
+    def test_depth_scales_throughput_until_cores_saturate(self):
+        """With 4 cores, depth 1->4 scales ~linearly; beyond 4 it cannot."""
+        rng = np.random.default_rng(1)
+        results = {
+            depth: simulate_closed_loop(depth, 4, constant(1e-3), 8000,
+                                        np.random.default_rng(1))
+            for depth in (1, 4, 16)
+        }
+        assert results[4].throughput_rps == pytest.approx(
+            4 * results[1].throughput_rps, rel=0.05
+        )
+        assert results[16].throughput_rps == pytest.approx(
+            results[4].throughput_rps, rel=0.05
+        )
+
+    def test_excess_depth_buys_only_latency(self):
+        """Past saturation, outstanding requests just queue (the iodepth
+        lesson fio users learn)."""
+        rng = np.random.default_rng(2)
+        shallow = simulate_closed_loop(4, 4, constant(1e-3), 8000,
+                                       np.random.default_rng(2))
+        deep = simulate_closed_loop(32, 4, constant(1e-3), 8000,
+                                    np.random.default_rng(2))
+        assert deep.mean_latency_s > 5 * shallow.mean_latency_s
+
+    def test_closed_loop_never_overloads(self):
+        """Unlike open loop, latency stays bounded at any depth."""
+        rng = np.random.default_rng(3)
+        result = simulate_closed_loop(
+            64, 2, lambda r, n: r.exponential(1e-3, size=n), 20_000, rng
+        )
+        assert result.p99_latency_s < 64 * 1e-3 * 3
+
+    def test_think_time_lowers_throughput(self):
+        fast = simulate_closed_loop(4, 4, constant(1e-3), 4000,
+                                    np.random.default_rng(4))
+        slow = simulate_closed_loop(4, 4, constant(1e-3), 4000,
+                                    np.random.default_rng(4),
+                                    think_time_s=2e-3)
+        assert slow.throughput_rps < fast.throughput_rps
+
+    @given(st.integers(min_value=1, max_value=32),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_littles_law_property(self, depth, cores):
+        rng = np.random.default_rng(depth * 100 + cores)
+        result = simulate_closed_loop(
+            depth, cores, lambda r, n: r.exponential(5e-4, size=n), 6000, rng
+        )
+        assert result.littles_law_error() < 0.15
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_throughput_monotone_in_depth(self, depth):
+        a = simulate_closed_loop(depth, 8,
+                                 lambda r, n: r.exponential(1e-4, size=n),
+                                 5000, np.random.default_rng(9))
+        b = simulate_closed_loop(depth + 1, 8,
+                                 lambda r, n: r.exponential(1e-4, size=n),
+                                 5000, np.random.default_rng(9))
+        assert b.throughput_rps >= 0.95 * a.throughput_rps

@@ -1,0 +1,212 @@
+"""Tests for the fast-path queueing simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queueing import (
+    QueueOutcome,
+    lindley_waits,
+    outcome_to_metrics,
+    simulate_batch_server,
+    simulate_gg1,
+    simulate_sharded,
+)
+
+
+def constant_service(value):
+    def sampler(rng, n):
+        return np.full(n, value)
+
+    return sampler
+
+
+def exponential_service(mean):
+    def sampler(rng, n):
+        return rng.exponential(mean, size=n)
+
+    return sampler
+
+
+class TestLindley:
+    def test_no_queueing_when_gaps_exceed_service(self):
+        gaps = np.array([1.0, 1.0, 1.0])
+        services = np.array([0.5, 0.5, 0.5])
+        assert (lindley_waits(gaps, services) == 0).all()
+
+    def test_back_to_back_arrivals_queue(self):
+        gaps = np.array([1.0, 0.0, 0.0])
+        services = np.array([1.0, 1.0, 1.0])
+        waits = lindley_waits(gaps, services)
+        assert waits.tolist() == [0.0, 1.0, 2.0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            lindley_waits(np.array([1.0]), np.array([1.0, 2.0]))
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_waits_nonnegative(self, n):
+        rng = np.random.default_rng(n)
+        gaps = rng.exponential(1.0, size=n)
+        services = rng.exponential(0.7, size=n)
+        assert (lindley_waits(gaps, services) >= 0).all()
+
+
+class TestGG1:
+    def test_rejects_nonpositive_rate(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_gg1(0.0, constant_service(1.0), 10, rng)
+
+    def test_deterministic_underload_has_zero_wait(self):
+        rng = np.random.default_rng(0)
+        outcome = simulate_gg1(
+            10.0, constant_service(0.05), 1000, rng, arrival_cv=0.0
+        )
+        assert outcome.sojourns == pytest.approx(np.full(1000, 0.05))
+
+    def test_mm1_mean_sojourn_matches_theory(self):
+        """M/M/1 at rho=0.5: E[T] = 1/(mu - lambda)."""
+        rng = np.random.default_rng(42)
+        mu, lam = 10.0, 5.0
+        outcome = simulate_gg1(lam, exponential_service(1 / mu), 200_000, rng)
+        theory = 1.0 / (mu - lam)
+        assert float(np.mean(outcome.sojourns)) == pytest.approx(theory, rel=0.05)
+
+    def test_latency_grows_with_load(self):
+        rng = np.random.default_rng(1)
+        light = simulate_gg1(1.0, exponential_service(0.1), 20_000, rng)
+        heavy = simulate_gg1(9.0, exponential_service(0.1), 20_000, rng)
+        assert np.percentile(heavy.sojourns, 99) > np.percentile(light.sojourns, 99)
+
+    def test_queue_limit_drops_under_overload(self):
+        rng = np.random.default_rng(2)
+        outcome = simulate_gg1(
+            100.0, constant_service(0.1), 5000, rng, queue_limit=0.5
+        )
+        assert outcome.dropped > 0
+        # Kept sojourns are bounded by limit + service
+        assert outcome.sojourns.max() <= 0.5 + 0.1 + 1e-9
+
+    def test_no_drops_under_light_load_with_limit(self):
+        rng = np.random.default_rng(3)
+        outcome = simulate_gg1(
+            1.0, constant_service(0.01), 2000, rng, queue_limit=0.5
+        )
+        assert outcome.dropped == 0
+
+
+class TestSharded:
+    def test_shard_count_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_sharded(10.0, 0, constant_service(0.1), 10, rng)
+
+    def test_sharding_divides_rate(self):
+        """8 cores at rate R behave like one core at R/8."""
+        service = constant_service(0.01)
+        a = simulate_sharded(
+            800.0, 8, service, 5000, np.random.default_rng(7), arrival_cv=0.0
+        )
+        b = simulate_gg1(
+            100.0, service, 5000, np.random.default_rng(7), arrival_cv=0.0
+        )
+        assert a.sojourns == pytest.approx(b.sojourns)
+
+
+class TestBatchServer:
+    def test_batch_size_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_batch_server(10.0, 10, rng, 0, 1e-3, 1e-4, 1e-5)
+
+    def test_single_item_batches_when_sparse(self):
+        """With huge gaps each item is its own (timeout-expired) batch."""
+        rng = np.random.default_rng(0)
+        outcome = simulate_batch_server(
+            rate=1.0,
+            n_requests=100,
+            rng=rng,
+            batch_size=32,
+            batch_timeout=1e-3,
+            setup_time=10e-6,
+            per_item_time=1e-6,
+            arrival_cv=0.0,
+        )
+        # Every request waits the full batch timeout plus setup + 1 item.
+        expected = 1e-3 + 10e-6 + 1e-6
+        assert outcome.sojourns == pytest.approx(np.full(100, expected))
+
+    def test_full_batches_when_dense(self):
+        """At high rate, batches fill and amortize setup."""
+        rng = np.random.default_rng(0)
+        outcome = simulate_batch_server(
+            rate=1e6,
+            n_requests=3200,
+            rng=rng,
+            batch_size=32,
+            batch_timeout=1e-3,
+            setup_time=10e-6,
+            per_item_time=1e-7,
+            arrival_cv=0.0,
+        )
+        # Mean effective service per item is ~ setup/32 + per_item
+        assert float(np.mean(outcome.services)) == pytest.approx(
+            10e-6 / 32 + 1e-7, rel=0.05
+        )
+
+    def test_batching_amortization_raises_capacity(self):
+        """Throughput ceiling with batching exceeds the unbatched one."""
+        unbatched_capacity = 1.0 / (10e-6 + 1e-7)
+        batched_capacity = 1.0 / (10e-6 / 32 + 1e-7)
+        assert batched_capacity > 10 * unbatched_capacity
+
+    def test_sojourns_exceed_setup(self):
+        rng = np.random.default_rng(5)
+        outcome = simulate_batch_server(
+            rate=1e5, n_requests=1000, rng=rng, batch_size=8,
+            batch_timeout=50e-6, setup_time=20e-6, per_item_time=1e-6,
+        )
+        assert (outcome.sojourns >= 20e-6).all()
+
+
+class TestOutcomeToMetrics:
+    def test_empty_outcome(self):
+        outcome = QueueOutcome(
+            sojourns=np.array([]), services=np.array([]), arrivals=np.array([]),
+            dropped=5,
+        )
+        metrics = outcome_to_metrics(outcome, offered_rate=10.0, bytes_per_request=100)
+        assert metrics.completed == 0
+        assert metrics.dropped == 5
+        assert metrics.latency_p99 == float("inf")
+
+    def test_underload_reports_offered_rate(self):
+        rng = np.random.default_rng(0)
+        outcome = simulate_gg1(100.0, constant_service(1e-3), 20_000, rng)
+        metrics = outcome_to_metrics(outcome, 100.0, bytes_per_request=1000)
+        assert metrics.completed_rate == pytest.approx(100.0, rel=0.05)
+        assert metrics.sustained
+
+    def test_sharded_scaleup(self):
+        rng = np.random.default_rng(0)
+        outcome = simulate_sharded(800.0, 8, constant_service(1e-3), 20_000, rng)
+        metrics = outcome_to_metrics(outcome, 800.0, bytes_per_request=1000, cores=8)
+        assert metrics.completed_rate == pytest.approx(800.0, rel=0.05)
+
+    def test_overload_not_sustained(self):
+        rng = np.random.default_rng(0)
+        # capacity 1000/s, offered 2000/s
+        outcome = simulate_gg1(2000.0, constant_service(1e-3), 20_000, rng)
+        metrics = outcome_to_metrics(outcome, 2000.0, bytes_per_request=1000)
+        assert not metrics.sustained
+        assert metrics.completed_rate == pytest.approx(1000.0, rel=0.1)
+
+    def test_goodput_accounts_bytes(self):
+        rng = np.random.default_rng(0)
+        outcome = simulate_gg1(1000.0, constant_service(1e-5), 20_000, rng)
+        metrics = outcome_to_metrics(outcome, 1000.0, bytes_per_request=1250)
+        # 1000 req/s * 1250 B * 8 = 10 Mbit/s
+        assert metrics.goodput_gbps == pytest.approx(0.01, rel=0.05)

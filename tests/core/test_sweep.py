@@ -1,0 +1,105 @@
+"""Tests for the max-sustainable-throughput search."""
+
+import pytest
+
+from repro.core import RunMetrics, find_max_sustainable_rate, rate_response_curve
+
+
+def make_system(capacity, base_latency=1e-6):
+    """A synthetic M/M/1-flavoured system: sustains rates below capacity,
+    p99 grows hyperbolically as the rate approaches capacity."""
+
+    def run_at(rate):
+        if rate < capacity:
+            completed_rate = rate
+            p99 = base_latency / max(1e-9, (1 - rate / capacity))
+        else:
+            completed_rate = capacity * 0.9  # overload: drops
+            p99 = 1.0
+        return RunMetrics(
+            offered_rate=rate,
+            duration=1.0,
+            completed=int(completed_rate),
+            completed_rate=completed_rate,
+            goodput_gbps=completed_rate * 1000 * 8 / 1e9,
+            latency_p50=p99 / 2,
+            latency_p99=p99,
+            latency_mean=p99 / 2,
+        )
+
+    return run_at
+
+
+def test_finds_capacity_knee():
+    run_at = make_system(capacity=10_000.0)
+    result = find_max_sustainable_rate(run_at, low_rate=100.0, high_rate=100_000.0)
+    assert 9_000.0 <= result.max_rate <= 10_000.0
+
+
+def test_slo_bound_lowers_operating_point():
+    run_at = make_system(capacity=10_000.0, base_latency=1e-6)
+    # p99 <= 2us happens at rate <= capacity/2
+    result = find_max_sustainable_rate(
+        run_at, low_rate=100.0, high_rate=100_000.0, slo_p99=2e-6
+    )
+    assert result.max_rate <= 5_100.0
+    assert result.metrics.latency_p99 <= 2e-6
+
+
+def test_ceiling_respected_when_never_saturating():
+    run_at = make_system(capacity=1e12)
+    result = find_max_sustainable_rate(run_at, low_rate=10.0, high_rate=500.0)
+    assert result.max_rate == 500.0
+
+
+def test_floor_returned_when_nothing_sustains():
+    run_at = make_system(capacity=5.0)
+    result = find_max_sustainable_rate(run_at, low_rate=10.0, high_rate=1000.0)
+    assert result.max_rate == 10.0
+    assert not result.metrics.sustained
+
+
+def test_invalid_bounds_rejected():
+    run_at = make_system(capacity=100.0)
+    with pytest.raises(ValueError):
+        find_max_sustainable_rate(run_at, low_rate=0.0, high_rate=10.0)
+    with pytest.raises(ValueError):
+        find_max_sustainable_rate(run_at, low_rate=10.0, high_rate=10.0)
+
+
+def test_probe_budget_bounds_run_count():
+    calls = []
+    inner = make_system(capacity=10_000.0)
+
+    def run_at(rate):
+        calls.append(rate)
+        return inner(rate)
+
+    find_max_sustainable_rate(
+        run_at, low_rate=1.0, high_rate=1e9, max_probes=12, tolerance=1e-6
+    )
+    assert len(calls) <= 12
+
+
+def test_probes_recorded():
+    run_at = make_system(capacity=10_000.0)
+    result = find_max_sustainable_rate(run_at, low_rate=100.0, high_rate=100_000.0)
+    assert len(result.probes) >= 3
+    assert result.goodput_gbps > 0
+
+
+def test_rate_response_curve_keys_match():
+    run_at = make_system(capacity=10_000.0)
+    rates = [100.0, 1000.0, 5000.0]
+    curve = rate_response_curve(run_at, rates)
+    assert sorted(curve) == rates
+    assert curve[5000.0].latency_p99 > curve[100.0].latency_p99
+
+
+def test_monotone_latency_in_probe_set():
+    run_at = make_system(capacity=10_000.0)
+    result = find_max_sustainable_rate(run_at, low_rate=100.0, high_rate=9_999.0)
+    sustained = [m for m in result.probes if m.sustained]
+    ordered = sorted(sustained, key=lambda m: m.offered_rate)
+    latencies = [m.latency_p99 for m in ordered]
+    assert latencies == sorted(latencies)

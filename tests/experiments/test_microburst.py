@@ -1,0 +1,63 @@
+"""Tests for the microburst tolerance study."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RandomStreams
+from repro.experiments.measurement import ACCEL_PLATFORM
+from repro.experiments.microburst import (
+    _burst_arrivals,
+    format_microburst,
+    run_microburst_study,
+)
+
+
+class TestBurstArrivals:
+    def test_mean_rate_preserved(self):
+        rng = np.random.default_rng(0)
+        arrivals = _burst_arrivals(1e6, 4.0, 20_000, rng)
+        measured = len(arrivals) / arrivals[-1]
+        assert measured == pytest.approx(1e6, rel=0.1)
+
+    def test_burstiness_increases_variance(self):
+        rng = np.random.default_rng(1)
+        smooth = np.diff(_burst_arrivals(1e6, 1.0, 10_000, np.random.default_rng(1)))
+        bursty = np.diff(_burst_arrivals(1e6, 8.0, 10_000, np.random.default_rng(1)))
+        assert bursty.std() > 1.5 * smooth.std()
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            _burst_arrivals(1e6, 0.5, 10, np.random.default_rng(0))
+
+
+class TestMicroburstStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_microburst_study(
+            peak_to_mean_ratios=(1.0, 4.0, 8.0),
+            samples=80, n_requests=8000, streams=RandomStreams(3),
+        )
+
+    def test_host_p99_grows_with_burstiness(self, results):
+        p99s = [p.p99_latency_s for p in results["host"]]
+        assert p99s[-1] > 2 * p99s[0]
+
+    def test_host_loses_packets_under_heavy_bursts(self, results):
+        """Bounded kernel/ring buffers turn 8x bursts into loss — the
+        reserved-core / provisioning problem of Key Observation 3."""
+        assert results["host"][-1].loss_fraction > 0.05
+        assert results["host"][0].loss_fraction < 0.01
+
+    def test_accelerator_absorbs_bursts_without_loss(self, results):
+        """The engine's deep job queue rides the burst out in latency."""
+        for point in results[ACCEL_PLATFORM]:
+            assert point.loss_fraction == 0.0
+
+    def test_accelerator_latency_headroom(self, results):
+        """Its p99 grows far more gently than the host's loss knee."""
+        accel = [p.p99_latency_s for p in results[ACCEL_PLATFORM]]
+        assert accel[-1] < 6 * accel[0]
+
+    def test_formatting(self, results):
+        text = format_microburst(results)
+        assert "peak/mean" in text

@@ -1,0 +1,89 @@
+"""Tests for the operation-mode study and the future-SNIC sensitivity
+study."""
+
+import pytest
+
+from repro.core.rng import RandomStreams
+from repro.experiments.modes import format_mode_study, run_mode_study
+from repro.experiments.sensitivity import (
+    DESIGNS,
+    SnicDesign,
+    format_sensitivity,
+    rows_by_design,
+    run_sensitivity,
+)
+
+
+class TestModeStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_mode_study(n_packets=300, interval_s=20e-6)
+
+    def test_both_modes_measured(self, results):
+        assert set(results) == {"on-path", "off-path"}
+
+    def test_on_path_pays_latency_tax(self, results):
+        """§2.3: on-path host-bound traffic crosses the SNIC CPU complex."""
+        assert results["on-path"].mean_rtt_s > results["off-path"].mean_rtt_s
+
+    def test_off_path_bypasses_snic_cpu(self, results):
+        assert results["off-path"].snic_cpu_packets == 0
+        assert results["on-path"].snic_cpu_packets == 300
+
+    def test_tax_magnitude_is_microseconds(self, results):
+        tax = results["on-path"].mean_rtt_s - results["off-path"].mean_rtt_s
+        assert 0.5e-6 < tax < 10e-6
+
+    def test_formatting(self, results):
+        text = format_mode_study(results)
+        assert "on-path tax" in text
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_sensitivity(
+            keys=("mica:32", "redis:a", "rem:file_executable"),
+            samples=100,
+            n_requests=6000,
+            streams=RandomStreams(6),
+        )
+
+    def test_design_validation(self):
+        with pytest.raises(ValueError):
+            SnicDesign("bad", core_count_scale=0)
+
+    def test_baseline_matches_fig4(self, rows):
+        by_design = rows_by_design(rows)
+        assert by_design["bluefield-2"]["mica:32"] < 0.6
+        assert by_design["bluefield-2"]["redis:a"] < 0.25
+
+    def test_next_gen_flips_compute_bound_functions(self, rows):
+        """The paper's KO4 speculation: a stronger SNIC CPU overtakes the
+        host for certain configurations (MICA) ..."""
+        by_design = rows_by_design(rows)
+        assert by_design["next-gen"]["mica:32"] > 1.0
+
+    def test_next_gen_does_not_fix_kernel_stack(self, rows):
+        """... but kernel-stack functions stay behind without Strategy 1."""
+        by_design = rows_by_design(rows)
+        assert by_design["next-gen"]["redis:a"] < 0.6
+
+    def test_engine_upgrade_helps_only_accelerated_functions(self, rows):
+        by_design = rows_by_design(rows)
+        assert by_design["line-rate-engines"]["rem:file_executable"] > 1.4 * (
+            by_design["bluefield-2"]["rem:file_executable"]
+        )
+        assert by_design["line-rate-engines"]["redis:a"] == pytest.approx(
+            by_design["bluefield-2"]["redis:a"], rel=0.3
+        )
+
+    def test_calibration_restored(self, rows):
+        from repro import calibration
+
+        assert calibration.PLATFORMS["snic-cpu"] is calibration.SNIC_CPU
+        assert calibration.ACCELERATORS["rem"].bytes_per_s["default"] == 7.2e9
+
+    def test_formatting(self, rows):
+        text = format_sensitivity(rows)
+        assert "flips" in text or "SNIC/host" in text

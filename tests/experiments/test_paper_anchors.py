@@ -1,0 +1,211 @@
+"""Paper-anchor tests: every quantitative claim of §4-§5 checked against
+the measured reproduction.
+
+Each test names the paper statement it verifies.  Bands are the paper's
+numbers with a tolerance wide enough for simulation noise but tight
+enough that a broken model fails.  Known deviations (kernel-stack p99
+amplification; SHA-1 efficiency) are asserted at their *documented* bands
+and cross-referenced in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def ratio(by_key, key):
+    return by_key[key].throughput_ratio
+
+
+class TestHeadlineRanges:
+    def test_throughput_ratio_span(self, fig4_rows):
+        """§4: SNIC gives 0.1x-3.5x the host's maximum throughput."""
+        ratios = [r.throughput_ratio for r in fig4_rows]
+        assert 0.08 <= min(ratios) <= 0.25
+        assert 2.3 <= max(ratios) <= 3.8
+
+    def test_p99_ratio_span(self, fig4_rows):
+        """§4: SNIC gives 0.1x-13.8x the host's p99 latency."""
+        ratios = [r.p99_ratio for r in fig4_rows]
+        assert min(ratios) < 0.6
+        assert 1.5 <= max(ratios) <= 14.0
+
+    def test_efficiency_ratio_span(self, fig6_rows):
+        """§4: SNIC gives 0.2x-3.8x the host's energy efficiency."""
+        ratios = [r.efficiency_ratio for r in fig6_rows]
+        assert 0.15 <= min(ratios) <= 0.3
+        assert 2.8 <= max(ratios) <= 4.2
+
+
+class TestObservation1Anchors:
+    def test_udp_micro_throughput_band(self, fig4_by_key):
+        """§4 KO1: SNIC UDP throughput 76.5-85.7 % lower than host."""
+        for key in ("udp:64", "udp:1024"):
+            assert 0.125 <= ratio(fig4_by_key, key) <= 0.25, key
+
+    def test_udp_micro_p99_direction(self, fig4_by_key):
+        """§4 KO1: SNIC UDP p99 is higher (paper: 1.1-1.4x; our queueing
+        model amplifies to ~2-3x — documented deviation)."""
+        for key in ("udp:64", "udp:1024"):
+            assert 1.1 <= fig4_by_key[key].p99_ratio <= 4.0, key
+
+    def test_rdma_micro_throughput(self, fig4_by_key):
+        """§4 KO1: SNIC RDMA up to 1.4x host throughput."""
+        assert 1.1 <= ratio(fig4_by_key, "rdma:1024") <= 1.45
+
+    def test_rdma_micro_p99_lower_on_snic(self, fig4_by_key):
+        """§4 KO1: SNIC RDMA p99 14.6-24.3 % lower (we allow a wider band:
+        knee-detection noise)."""
+        assert 0.4 <= fig4_by_key["rdma:1024"].p99_ratio <= 0.95
+
+    def test_dpdk_line_rate_at_1kb(self, fig4_by_key):
+        """§3.3: one core reaches ~100 Gb/s with 1 KB packets on both."""
+        row = fig4_by_key["dpdk:1024"]
+        assert row.host.goodput_gbps > 85.0
+        assert row.snic.goodput_gbps > 85.0
+
+    def test_tcp_udp_functions_within_paper_band(self, fig4_by_key):
+        """§4 KO1: SNIC 20.6-89.5 % lower throughput for TCP/UDP functions."""
+        keys = ("redis:a", "redis:b", "redis:c", "snort:file_image",
+                "snort:file_flash", "snort:file_executable", "nat:10k",
+                "nat:1m", "bm25:100", "bm25:1k")
+        for key in keys:
+            assert 0.10 <= ratio(fig4_by_key, key) <= 0.80, key
+
+    def test_tcp_udp_p99_band(self, fig4_by_key):
+        """§4 KO1: 1.1-3.2x higher p99 for TCP/UDP functions (we allow
+        up to 3.6 for knee noise)."""
+        keys = ("redis:a", "redis:b", "redis:c", "nat:10k", "nat:1m",
+                "bm25:100", "bm25:1k", "snort:file_image")
+        for key in keys:
+            assert 1.1 <= fig4_by_key[key].p99_ratio <= 3.6, key
+
+    def test_mica_band(self, fig4_by_key):
+        """§4 KO1: MICA 19.5-54.5 % lower throughput, 6.7-26.2 % higher p99."""
+        assert 0.42 <= ratio(fig4_by_key, "mica:32") <= 0.60
+        assert 0.65 <= ratio(fig4_by_key, "mica:4") <= 0.85
+        for key in ("mica:4", "mica:32"):
+            assert 0.95 <= fig4_by_key[key].p99_ratio <= 1.6, key
+
+    def test_fio_throughput_parity(self, fig4_by_key):
+        """§4 KO1: SNIC matches host throughput for fio."""
+        for key in ("fio:read", "fio:write"):
+            assert 0.9 <= ratio(fig4_by_key, key) <= 1.12, key
+
+
+class TestObservation2Anchors:
+    def test_aes_host_wins(self, fig4_by_key):
+        """§4 KO2: host 38.5 % higher max throughput for AES (ratio ~0.72)."""
+        assert 0.62 <= ratio(fig4_by_key, "crypto:aes") <= 0.82
+
+    def test_rsa_host_wins(self, fig4_by_key):
+        """§4 KO2: host 91.2 % higher for RSA (ratio ~0.52)."""
+        assert 0.42 <= ratio(fig4_by_key, "crypto:rsa") <= 0.63
+
+    def test_sha1_accelerator_wins(self, fig4_by_key):
+        """§4 KO2: host 47.2 % lower for SHA-1 (accel ~1.9x host)."""
+        assert 1.6 <= ratio(fig4_by_key, "crypto:sha1") <= 2.2
+
+    def test_rem_image_accelerator_wins(self, fig4_by_key):
+        """§4 KO2/KO4: accel 1.8x host for REM with file_image."""
+        assert 1.5 <= ratio(fig4_by_key, "rem:file_image") <= 2.1
+
+    def test_rem_other_rulesets_host_wins(self, fig4_by_key):
+        """§4 KO4: accel only 0.6x host for file_flash / file_executable."""
+        for key in ("rem:file_flash", "rem:file_executable"):
+            assert 0.45 <= ratio(fig4_by_key, key) <= 0.72, key
+
+    def test_compression_accelerator_wins_big(self, fig4_by_key):
+        """§4 KO2: accel up to 3.5x host for Compression."""
+        ratios = [ratio(fig4_by_key, "compression:app"),
+                  ratio(fig4_by_key, "compression:txt")]
+        assert all(2.3 <= r <= 3.8 for r in ratios)
+        assert max(ratios) >= 2.8
+
+
+class TestObservation3Anchors:
+    def test_accelerator_capped_near_50g(self, fig5_curves):
+        """§4 KO3 / Fig. 5: REM accelerator caps at ~50 Gb/s."""
+        for ruleset, curves in fig5_curves.items():
+            accel = next(c for c in curves if c.platform == "snic-accel")
+            assert 40.0 <= accel.max_achieved_gbps() <= 56.0, ruleset
+
+    def test_host_exe_reaches_78g_with_8_cores(self, fig5_curves):
+        """Fig. 5: host file_executable scales to ~78 Gb/s on 8 cores."""
+        curves = fig5_curves["file_executable"]
+        eight = next(c for c in curves if c.label == "host-8c")
+        assert 68.0 <= eight.max_achieved_gbps() <= 90.0
+
+    def test_host_image_walls_near_40g(self, fig5_curves):
+        """Fig. 5 / §4 KO4: host file_image p99 explodes past ~40 Gb/s."""
+        curves = fig5_curves["file_image"]
+        eight = next(c for c in curves if c.label == "host-8c")
+        assert 30.0 <= eight.max_achieved_gbps() <= 48.0
+
+    def test_host_cores_scale(self, fig5_curves):
+        """Fig. 5: host throughput grows with core count."""
+        for ruleset in fig5_curves:
+            curves = {c.label: c.max_achieved_gbps() for c in fig5_curves[ruleset]}
+            assert curves["host-1c"] < curves["host-4c"] < curves["host-8c"]
+
+    def test_accel_p99_at_capacity_near_25us(self, fig5_curves):
+        """§4 KO4: the accelerator serves REM at ~25.1 us p99 (host: 5.1)."""
+        curves = fig5_curves["file_executable"]
+        accel = next(c for c in curves if c.platform == "snic-accel")
+        below_cap = [p for p in accel.points if p.offered_gbps <= 45]
+        p99s = [p.p99_latency_s for p in below_cap]
+        assert 18e-6 <= min(p99s) <= 40e-6
+        host8 = next(c for c in curves if c.label == "host-8c")
+        host_low = [p.p99_latency_s for p in host8.points if p.offered_gbps <= 40]
+        assert 4e-6 <= min(host_low) <= 12e-6
+
+
+class TestObservation4And5:
+    def test_fio_p99_flips_by_operation(self, fig4_by_key):
+        """§4 KO4: host 36 % lower p99 for reads, 18.2 % higher for writes."""
+        assert 1.2 <= fig4_by_key["fio:read"].p99_ratio <= 1.75
+        assert 0.70 <= fig4_by_key["fio:write"].p99_ratio <= 1.0
+
+    def test_efficiency_winners(self, fig6_rows):
+        """§4 KO5: fio / REM(image) / SHA-1 / Compression gain efficiency."""
+        by_key = {r.key: r for r in fig6_rows}
+        assert 1.05 <= by_key["fio:read"].efficiency_ratio <= 1.45  # paper 1.1-1.3
+        assert 2.1 <= by_key["rem:file_image"].efficiency_ratio <= 2.9  # paper 2.5
+        assert by_key["crypto:sha1"].efficiency_ratio > 1.5  # paper 1.9 (we ~2.5)
+        assert 2.9 <= by_key["compression:txt"].efficiency_ratio <= 3.9  # paper 3.4-3.8
+
+    def test_efficiency_losers(self, fig6_rows):
+        """§4 KO5: offload does NOT pay off for kernel-stack functions."""
+        by_key = {r.key: r for r in fig6_rows}
+        for key in ("redis:a", "nat:10k", "snort:file_executable", "udp:64"):
+            assert by_key[key].efficiency_ratio < 0.5, key
+
+    def test_idle_power_dominates(self, fig6_rows):
+        """§4 KO5: the server idle floor (252 W) dominates every run."""
+        for row in fig6_rows:
+            assert row.snic_power_w < 1.25 * 252.0
+            assert row.host_power_w < 1.75 * 252.0
+
+    def test_snic_device_power_bounded(self, fig6_rows):
+        """§4: the SNIC never draws more than ~5.4 W above its 29 W idle."""
+        for row in fig6_rows:
+            assert 29.0 <= row.snic_device_w <= 29.0 + 6.5
+
+
+class TestObservationVerdicts:
+    def test_all_five_observations_hold(self, fig4_rows, fig5_curves, fig6_rows):
+        from repro.experiments.observations import (
+            observation_1,
+            observation_2,
+            observation_3,
+            observation_4,
+            observation_5,
+        )
+
+        verdicts = [
+            observation_1(fig4_rows),
+            observation_2(fig4_rows),
+            observation_3(fig5_curves),
+            observation_4(fig4_rows),
+            observation_5(fig6_rows),
+        ]
+        failing = [v.observation for v in verdicts if not v.holds]
+        assert not failing, f"observations failing: {failing}"

@@ -1,0 +1,147 @@
+"""Tests for DSA and ECDSA (the rest of the PKA family)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions.crypto import dsa, ecc
+
+
+class TestDsa:
+    @pytest.fixture(scope="class")
+    def key(self):
+        rng = np.random.default_rng(5)
+        parameters = dsa.generate_parameters(256, 160, rng)
+        return dsa.generate_key(parameters, rng)
+
+    def test_parameter_structure(self, key):
+        params = key.parameters
+        assert (params.p - 1) % params.q == 0
+        assert pow(params.g, params.q, params.p) == 1
+        assert params.g > 1
+
+    def test_sign_verify(self, key):
+        rng = np.random.default_rng(7)
+        digest = 0xABCDEF123456789
+        signature, work = dsa.sign(digest, key, rng)
+        ok, _ = dsa.verify(digest, signature, key)
+        assert ok
+        assert work.get("rsa_limb_mul") > 0
+
+    def test_verify_rejects_wrong_digest(self, key):
+        rng = np.random.default_rng(8)
+        signature, _ = dsa.sign(1234, key, rng)
+        ok, _ = dsa.verify(1235, signature, key)
+        assert not ok
+
+    def test_verify_rejects_out_of_range(self, key):
+        ok, _ = dsa.verify(1, (0, 5), key)
+        assert not ok
+        ok, _ = dsa.verify(1, (5, key.parameters.q), key)
+        assert not ok
+
+    def test_signatures_randomized(self, key):
+        a, _ = dsa.sign(42, key, np.random.default_rng(1))
+        b, _ = dsa.sign(42, key, np.random.default_rng(2))
+        assert a != b  # fresh nonce per signature
+
+    def test_q_size_validated(self):
+        with pytest.raises(ValueError):
+            dsa.generate_parameters(128, 128, np.random.default_rng(0))
+
+    def test_verify_costs_two_exponentiations(self, key):
+        rng = np.random.default_rng(9)
+        signature, sign_work = dsa.sign(99, key, rng)
+        _, verify_work = dsa.verify(99, signature, key)
+        assert verify_work.get("rsa_limb_mul") > sign_work.get("rsa_limb_mul") * 0.8
+
+
+class TestCurveArithmetic:
+    def test_generator_on_curve(self):
+        assert ecc.TINY_CURVE.is_on_curve(ecc.TINY_CURVE.g)
+        assert ecc.P256.is_on_curve(ecc.P256.g)
+
+    def test_infinity_is_identity(self):
+        curve = ecc.TINY_CURVE
+        assert curve.add(None, curve.g) == curve.g
+        assert curve.add(curve.g, None) == curve.g
+
+    def test_point_plus_negation_is_infinity(self):
+        curve = ecc.TINY_CURVE
+        x, y = curve.g
+        assert curve.add(curve.g, (x, (-y) % curve.p)) is None
+
+    def test_order_annihilates_generator(self):
+        curve = ecc.TINY_CURVE
+        point, _ = curve.scalar_multiply(curve.n, curve.g)
+        assert point is None
+
+    def test_scalar_multiply_matches_repeated_addition(self):
+        curve = ecc.TINY_CURVE
+        accumulated = None
+        for k in range(1, 19):
+            accumulated = curve.add(accumulated, curve.g)
+            computed, _ = curve.scalar_multiply(k, curve.g)
+            assert computed == accumulated, k
+
+    def test_all_multiples_on_curve(self):
+        curve = ecc.TINY_CURVE
+        for k in range(1, int(curve.n)):
+            point, _ = curve.scalar_multiply(k, curve.g)
+            assert curve.is_on_curve(point)
+
+    def test_negative_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            ecc.TINY_CURVE.scalar_multiply(-1, ecc.TINY_CURVE.g)
+
+    def test_p256_scalar_multiply_known_point(self):
+        """2G on P-256 (SEC test vector)."""
+        point, work = ecc.P256.scalar_multiply(2, ecc.P256.g)
+        assert point[0] == int(
+            "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978", 16
+        )
+        assert work.get("rsa_limb_mul") > 0
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_group_homomorphism(self, k):
+        """(k+1)G = kG + G on the tiny curve."""
+        curve = ecc.TINY_CURVE
+        kg, _ = curve.scalar_multiply(k, curve.g)
+        k1g, _ = curve.scalar_multiply(k + 1, curve.g)
+        assert curve.add(kg, curve.g) == k1g
+
+
+class TestEcdsa:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return ecc.generate_key(ecc.P256, np.random.default_rng(3))
+
+    def test_public_key_on_curve(self, key):
+        assert ecc.P256.is_on_curve(key.q)
+
+    def test_sign_verify(self, key):
+        rng = np.random.default_rng(4)
+        digest = 0x1122334455667788
+        signature, work = ecc.sign(digest, key, rng)
+        ok, _ = ecc.verify(digest, signature, key)
+        assert ok
+        assert work.get("rsa_limb_mul") > 1e4  # 256-bit scalar multiply
+
+    def test_verify_rejects_tampered(self, key):
+        rng = np.random.default_rng(6)
+        signature, _ = ecc.sign(777, key, rng)
+        r, s = signature
+        ok, _ = ecc.verify(777, (r, s + 1), key)
+        assert not ok
+
+    def test_verify_rejects_out_of_range(self, key):
+        ok, _ = ecc.verify(1, (0, 1), key)
+        assert not ok
+
+    def test_tiny_curve_roundtrip(self):
+        key = ecc.generate_key(ecc.TINY_CURVE, np.random.default_rng(1))
+        signature, _ = ecc.sign(7, key, np.random.default_rng(2))
+        ok, _ = ecc.verify(7, signature, key)
+        assert ok

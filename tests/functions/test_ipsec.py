@@ -1,0 +1,144 @@
+"""Tests for the ESP tunnel datapath."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions.ipsec import (
+    ICV_BYTES,
+    REPLAY_WINDOW,
+    IpsecError,
+    SecurityAssociation,
+    Tunnel,
+    decapsulate,
+    encapsulate,
+)
+
+KEY = b"0123456789abcdef"
+IKEY = b"integrity-key"
+
+
+def make_tunnel():
+    return Tunnel.create(spi=0x1001, encryption_key=KEY, integrity_key=IKEY)
+
+
+class TestEspRoundTrip:
+    def test_protect_unprotect(self):
+        tunnel = make_tunnel()
+        packet, work = tunnel.protect(b"inner ip packet")
+        assert work.get("aes_block") > 0
+        assert work.get("sha1_block") > 0
+        payload, _ = tunnel.unprotect(packet)
+        assert payload == b"inner ip packet"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        tunnel = make_tunnel()
+        packet, _ = tunnel.protect(b"secret secret secret")
+        assert b"secret" not in packet
+
+    def test_sequence_numbers_advance(self):
+        tunnel = make_tunnel()
+        tunnel.protect(b"a")
+        tunnel.protect(b"b")
+        assert tunnel.outbound.sequence == 2
+
+    def test_same_payload_different_ciphertext(self):
+        """CTR nonce = sequence: identical payloads must not repeat."""
+        tunnel = make_tunnel()
+        first, _ = tunnel.protect(b"hello")
+        second, _ = tunnel.protect(b"hello")
+        assert first != second
+
+    def test_tampered_packet_rejected(self):
+        tunnel = make_tunnel()
+        packet, _ = tunnel.protect(b"payload")
+        tampered = packet[:10] + bytes([packet[10] ^ 0xFF]) + packet[11:]
+        payload, _ = tunnel.unprotect(tampered)
+        assert payload is None
+        assert tunnel.packets_rejected == 1
+
+    def test_truncated_packet_rejected(self):
+        tunnel = make_tunnel()
+        payload, _ = tunnel.unprotect(b"tiny")
+        assert payload is None
+
+    def test_wrong_spi_rejected(self):
+        sender = Tunnel.create(0x1001, KEY, IKEY)
+        receiver = Tunnel.create(0x2002, KEY, IKEY)
+        packet, _ = sender.protect(b"x")
+        payload, _ = receiver.unprotect(packet)
+        assert payload is None
+
+    def test_key_validation(self):
+        with pytest.raises(IpsecError):
+            SecurityAssociation(1, b"short", IKEY)
+        with pytest.raises(IpsecError):
+            SecurityAssociation(1, KEY, b"")
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, payload):
+        tunnel = make_tunnel()
+        packet, _ = tunnel.protect(payload)
+        restored, _ = tunnel.unprotect(packet)
+        assert restored == payload
+
+
+class TestAntiReplay:
+    def test_replayed_packet_rejected(self):
+        tunnel = make_tunnel()
+        packet, _ = tunnel.protect(b"once")
+        assert tunnel.unprotect(packet)[0] == b"once"
+        assert tunnel.unprotect(packet)[0] is None
+        assert tunnel.inbound.replays_rejected == 1
+
+    def test_out_of_order_within_window_accepted(self):
+        tunnel = make_tunnel()
+        packets = [tunnel.protect(b"p%d" % i)[0] for i in range(5)]
+        assert tunnel.unprotect(packets[4])[0] == b"p4"
+        assert tunnel.unprotect(packets[1])[0] == b"p1"  # late but fresh
+        assert tunnel.unprotect(packets[1])[0] is None  # replay
+
+    def test_too_old_rejected(self):
+        tunnel = make_tunnel()
+        packets = [tunnel.protect(b"x")[0] for _ in range(REPLAY_WINDOW + 5)]
+        assert tunnel.unprotect(packets[-1])[0] is not None
+        # the first packet is now beyond the 64-entry window
+        assert tunnel.unprotect(packets[0])[0] is None
+
+    def test_window_bit_tracking(self):
+        sa = SecurityAssociation(1, KEY, IKEY)
+        assert sa.check_and_update_replay(3)
+        assert sa.check_and_update_replay(1)
+        assert not sa.check_and_update_replay(1)
+        assert sa.check_and_update_replay(2)
+        assert not sa.check_and_update_replay(3)
+
+    def test_sequence_zero_invalid(self):
+        sa = SecurityAssociation(1, KEY, IKEY)
+        assert not sa.check_and_update_replay(0)
+
+
+class TestWorkAccounting:
+    def test_work_scales_with_payload(self):
+        tunnel = make_tunnel()
+        _, small = tunnel.protect(b"x" * 64)
+        _, large = tunnel.protect(b"x" * 1024)
+        assert large.get("aes_block") > 10 * small.get("aes_block")
+
+    def test_decapsulation_costs_crypto_too(self):
+        tunnel = make_tunnel()
+        packet, _ = tunnel.protect(b"y" * 256)
+        _, work = tunnel.unprotect(packet)
+        assert work.get("aes_block") >= 16
+        assert work.get("sha1_block") > 0
+
+    def test_rejected_packet_still_pays_tag_check(self):
+        """The gateway verifies before decrypting: a forged packet costs
+        SHA-1 but no AES — the DoS-resistance ordering."""
+        tunnel = make_tunnel()
+        packet, _ = tunnel.protect(b"z" * 256)
+        bad = packet[:-1] + bytes([packet[-1] ^ 1])
+        _, work = tunnel.unprotect(bad)
+        assert work.get("sha1_block") > 0
+        assert work.get("aes_block") == 0

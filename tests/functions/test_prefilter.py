@@ -1,0 +1,137 @@
+"""Tests for the Aho-Corasick prefilter and literal extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions.regex.prefilter import (
+    AhoCorasick,
+    PrefilteredMatcher,
+    extract_literal,
+)
+
+
+class TestAhoCorasick:
+    def test_single_literal(self):
+        ac = AhoCorasick([b"abc"])
+        assert ac.scan(b"xxabcxx") == [(0, 5)]
+
+    def test_multiple_literals(self):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        hits = ac.scan(b"ushers")
+        found = {(lid, end) for lid, end in hits}
+        assert (1, 4) in found  # "she"
+        assert (0, 4) in found  # "he" (suffix of she)
+        assert (3, 6) in found  # "hers"
+
+    def test_overlapping_occurrences(self):
+        ac = AhoCorasick([b"aa"])
+        assert ac.scan(b"aaaa") == [(0, 2), (0, 3), (0, 4)]
+
+    def test_contains_any(self):
+        ac = AhoCorasick([b"needle"])
+        assert ac.contains_any(b"hay needle hay")
+        assert not ac.contains_any(b"just hay")
+
+    def test_binary_literals(self):
+        ac = AhoCorasick([b"\xff\xd8\xff"])
+        assert ac.scan(b"\x00\xff\xd8\xff") == [(0, 4)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([])
+        with pytest.raises(ValueError):
+            AhoCorasick([b""])
+
+    @given(st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=8),
+           st.binary(max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_naive_search(self, literals, payload):
+        ac = AhoCorasick(literals)
+        expected = set()
+        for literal_id, literal in enumerate(literals):
+            start = 0
+            while True:
+                index = payload.find(literal, start)
+                if index < 0:
+                    break
+                expected.add((literal_id, index + len(literal)))
+                start = index + 1
+        # AC may report duplicate ids when identical literals repeat in
+        # the input list; compare by (literal bytes, end).
+        got = {(literals[lid], end) for lid, end in ac.scan(payload)}
+        want = {(literals[lid], end) for lid, end in expected}
+        assert got == want
+
+
+class TestLiteralExtraction:
+    def test_plain_literal(self):
+        assert extract_literal("abcdef") == b"abcdef"
+
+    def test_hex_pattern(self):
+        assert extract_literal("\\xff\\xd8\\xff") == b"\xff\xd8\xff"
+
+    def test_longest_run_chosen(self):
+        assert extract_literal("ab[0-9]wxyz") == b"wxyz"
+
+    def test_class_breaks_run(self):
+        assert extract_literal("[a-z]x") is None  # single byte below minimum
+
+    def test_counted_repeat_of_literal(self):
+        assert extract_literal("z{4}") == b"zzzz"
+
+    def test_alternation_has_no_mandatory_literal(self):
+        assert extract_literal("abc|def") is None
+
+    def test_optional_tail_excluded(self):
+        assert extract_literal("abc(def)?") == b"abc"
+
+
+class TestPrefilteredMatcher:
+    PATTERNS = ["\\xd9\\xee\\xd9\\x74", "UPX0", "[a-z]{2}virus"]
+
+    def test_matches_agree_with_exact_engine(self):
+        matcher = PrefilteredMatcher(self.PATTERNS)
+        payload = b"xx\xd9\xee\xd9\x74yy UPX0 zzvirus"
+        filtered, _, scanned = matcher.scan(payload)
+        exact, _ = matcher.exact.scan(payload)
+        assert scanned
+        assert filtered == exact
+
+    def test_clean_traffic_skips_exact_engine(self):
+        matcher = PrefilteredMatcher(["UPX0", "\\xd9\\xee\\xd9"])
+        _, stats, scanned = matcher.scan(b"perfectly ordinary text")
+        assert not scanned
+        assert stats.deep_visits == 0
+
+    def test_unfilterable_pattern_forces_scan(self):
+        matcher = PrefilteredMatcher(["[0-9][a-f]"])  # no literal
+        assert matcher.unfilterable
+        _, _, scanned = matcher.scan(b"clean")
+        assert scanned
+
+    def test_batch_pass_rate(self):
+        matcher = PrefilteredMatcher(["UPX0"])
+        payloads = [b"clean"] * 9 + [b"has UPX0 inside"]
+        report = matcher.scan_batch(payloads)
+        assert report.packets == 10
+        assert report.prefilter_passes == 1
+        assert report.matches == 1
+        assert report.pass_rate == pytest.approx(0.1)
+
+    def test_rulesets_are_mostly_filterable(self):
+        """The synthetic Snort rule sets extract literals for most rules —
+        the property the two-stage design depends on."""
+        from repro.functions.regex.rulesets import load_ruleset
+
+        for name in ("file_image", "file_flash", "file_executable"):
+            matcher = PrefilteredMatcher(list(load_ruleset(name).patterns))
+            assert len(matcher.filterable) > len(matcher.unfilterable), name
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_never_misses_what_exact_finds(self, payload):
+        matcher = PrefilteredMatcher(self.PATTERNS)
+        filtered, _, _ = matcher.scan(payload)
+        exact, _ = matcher.exact.scan(payload)
+        assert filtered == exact or (not filtered and not exact)

@@ -1,0 +1,105 @@
+"""Tests for the memory-hierarchy model and its calibration checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import HOST, SNIC_CPU
+from repro.hardware.memmodel import (
+    AccessPattern,
+    host_hierarchy,
+    lookup_cost_ratio,
+    snic_hierarchy,
+)
+
+
+class TestAccessPattern:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessPattern(0)
+        with pytest.raises(ValueError):
+            AccessPattern(100, randomness=1.5)
+
+
+class TestHierarchy:
+    def test_hit_rates_sum_to_one(self):
+        hierarchy = host_hierarchy()
+        rates = hierarchy.hit_rates(AccessPattern(1 << 22))
+        assert sum(p for _, p in rates) == pytest.approx(1.0)
+
+    def test_tiny_working_set_is_l1_resident(self):
+        hierarchy = host_hierarchy()
+        rates = dict(hierarchy.hit_rates(AccessPattern(8 * 1024)))
+        assert rates["l1"] == pytest.approx(1.0)
+
+    def test_latency_grows_with_working_set(self):
+        hierarchy = snic_hierarchy()
+        small = hierarchy.access_cycles(AccessPattern(16 * 1024))
+        medium = hierarchy.access_cycles(AccessPattern(2 << 20))
+        large = hierarchy.access_cycles(AccessPattern(256 << 20))
+        assert small < medium < large
+
+    def test_sequential_cheaper_than_random(self):
+        hierarchy = host_hierarchy()
+        big = 128 << 20
+        random = hierarchy.access_cycles(AccessPattern(big, randomness=1.0))
+        sequential = hierarchy.access_cycles(AccessPattern(big, randomness=0.1))
+        assert sequential < random
+
+    def test_independent_accesses_overlap(self):
+        hierarchy = host_hierarchy()
+        big = 128 << 20
+        dependent = hierarchy.access_cycles(AccessPattern(big, dependent=True))
+        parallel = hierarchy.access_cycles(AccessPattern(big, dependent=False))
+        assert parallel < dependent
+
+    def test_dram_bound_latencies_physical(self):
+        """DRAM-bound dependent chains cost ~ the DRAM latency."""
+        cycles = host_hierarchy().access_cycles(AccessPattern(1 << 30))
+        assert 120 <= cycles <= 220  # ~85 ns at 2.1 GHz plus cache fractions
+
+    @given(st.integers(min_value=1024, max_value=1 << 30))
+    @settings(max_examples=40, deadline=None)
+    def test_snic_never_faster_in_seconds(self, working_set):
+        """The A72 hierarchy never beats the Xeon's on random access."""
+        assert lookup_cost_ratio(working_set) >= 0.99
+
+
+class TestCalibrationConsistency:
+    """The hand-calibrated work-unit costs must agree with the derived
+    hierarchy model within a factor of ~2 — the model validates the
+    calibration, the calibration pins the absolute scale."""
+
+    def test_nat_cold_lookup_ratio(self):
+        """1M NAT entries ~ 64 MB of table: calibrated cold-lookup ratio
+        vs. model-derived ratio."""
+        calibrated = (SNIC_CPU.work_cycles["nat_lookup_cold"] / SNIC_CPU.frequency_hz) / (
+            HOST.work_cycles["nat_lookup_cold"] / HOST.frequency_hz
+        )
+        derived = lookup_cost_ratio(64 << 20)
+        assert calibrated == pytest.approx(derived, rel=1.0)
+
+    def test_warm_lookup_ratio(self):
+        """10K entries (~640 KB) sit in L2/LLC."""
+        calibrated = (SNIC_CPU.work_cycles["nat_lookup"] / SNIC_CPU.frequency_hz) / (
+            HOST.work_cycles["nat_lookup"] / HOST.frequency_hz
+        )
+        derived = lookup_cost_ratio(640 << 10)
+        assert calibrated == pytest.approx(derived, rel=1.0)
+
+    def test_mem_random_access_ratio(self):
+        calibrated = (SNIC_CPU.work_cycles["mem_random_access"] / SNIC_CPU.frequency_hz) / (
+            HOST.work_cycles["mem_random_access"] / HOST.frequency_hz
+        )
+        derived = lookup_cost_ratio(8 << 20)
+        assert calibrated == pytest.approx(derived, rel=1.0)
+
+    def test_streaming_bandwidth_gap(self):
+        """mem_stream_byte's host:snic ratio tracks the channel count gap."""
+        host_stream = host_hierarchy().streaming_cycles_per_byte()
+        snic_stream = snic_hierarchy().streaming_cycles_per_byte()
+        calibrated_ratio = SNIC_CPU.work_cycles["mem_stream_byte"] / HOST.work_cycles[
+            "mem_stream_byte"
+        ]
+        derived_ratio = snic_stream / host_stream
+        assert calibrated_ratio == pytest.approx(derived_ratio, rel=1.2)

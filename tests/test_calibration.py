@@ -1,0 +1,120 @@
+"""Tests for the calibration tables: completeness and internal consistency."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    ACCELERATORS,
+    HOST,
+    PLATFORMS,
+    POWER,
+    SNIC_CPU,
+    base_rtt_sampler,
+    lognormal_params,
+)
+from repro.core.work import WorkUnits
+
+
+class TestPlatformTables:
+    def test_both_platforms_registered(self):
+        assert set(PLATFORMS) == {"host", "snic-cpu"}
+
+    def test_work_kind_tables_match(self):
+        """Every work kind priced on one platform is priced on the other —
+        otherwise some function profile would crash on one side only."""
+        assert set(HOST.work_cycles) == set(SNIC_CPU.work_cycles)
+
+    def test_stack_tables_match(self):
+        assert set(HOST.stacks) == set(SNIC_CPU.stacks) == {"udp", "tcp", "dpdk", "rdma"}
+
+    def test_snic_generic_work_is_slower(self):
+        """The A72 should never beat the Xeon per cycle on generic work
+        kinds (ISA-neutral ones)."""
+        for kind in ("instr", "hash_probe", "mem_random_access", "dfa_byte",
+                     "aes_block", "sha1_block"):
+            host_s = HOST.work_cycles[kind] / HOST.frequency_hz
+            snic_s = SNIC_CPU.work_cycles[kind] / SNIC_CPU.frequency_hz
+            assert snic_s > host_s, kind
+
+    def test_kernel_stacks_cost_more_on_snic(self):
+        for stack in ("udp", "tcp"):
+            assert SNIC_CPU.stack_seconds(stack, 64) > 2 * HOST.stack_seconds(stack, 64)
+
+    def test_rdma_cheaper_on_snic(self):
+        """The SNIC CPU sits next to the NIC (§4)."""
+        assert SNIC_CPU.stacks["rdma"].base_rtt_mean_s < HOST.stacks["rdma"].base_rtt_mean_s
+
+    def test_work_seconds_prices_units(self):
+        units = WorkUnits({"instr": 2.1e9})
+        assert HOST.work_seconds(units) == pytest.approx(1.0)
+
+    def test_work_seconds_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            HOST.work_seconds(WorkUnits({"quantum_op": 1}))
+
+    def test_parallel_efficiency_fold(self):
+        """stack_seconds folds the serialization share into service time."""
+        cost = SNIC_CPU.stacks["udp"]
+        raw = (cost.per_packet_cycles + 64 * cost.per_byte_cycles) / SNIC_CPU.frequency_hz
+        assert SNIC_CPU.stack_seconds("udp", 64) == pytest.approx(
+            raw / cost.parallel_efficiency
+        )
+
+
+class TestAccelerators:
+    def test_engines_present(self):
+        assert set(ACCELERATORS) == {"rem", "compression", "crypto"}
+
+    def test_rem_cap_below_line_rate(self):
+        """Key Observation 3: no engine rate reaches 100 Gb/s payload."""
+        rem_gbps = ACCELERATORS["rem"].bytes_per_s["default"] * 8 / 1e9
+        assert rem_gbps < 80.0
+
+    def test_crypto_modes(self):
+        crypto = ACCELERATORS["crypto"]
+        assert {"aes", "sha1"} <= set(crypto.bytes_per_s)
+        assert "rsa2048" in crypto.ops_per_s
+
+    def test_batching_parameters_positive(self):
+        for engine in ACCELERATORS.values():
+            assert engine.max_batch >= 1
+            assert engine.setup_latency_s > 0
+            assert engine.staging_cores >= 1
+
+
+class TestPowerCalibration:
+    def test_paper_idle_anchors(self):
+        assert POWER.server_idle_w == 252.0
+        assert POWER.snic_idle_w == 29.0
+
+    def test_snic_active_ceiling(self):
+        """§4: SNIC active power tops out near 5.4 W."""
+        ceiling = (
+            8 * POWER.snic_core_active_w
+            + max(POWER.snic_accel_engaged_w.values())
+            + max(POWER.snic_accel_active_w.values())
+        )
+        assert ceiling <= 9.0
+
+    def test_host_active_ceiling(self):
+        """§4: server active power tops out near 150.6 W."""
+        ceiling = 8 * POWER.host_core_active_w + POWER.host_platform_active_w
+        assert 80.0 <= ceiling <= 151.0
+
+
+class TestLognormal:
+    def test_params_reproduce_moments(self):
+        mu, sigma = lognormal_params(50e-6, 150e-6)
+        rng = np.random.default_rng(0)
+        draws = rng.lognormal(mu, sigma, size=400_000)
+        assert np.mean(draws) == pytest.approx(50e-6, rel=0.02)
+        assert np.percentile(draws, 99) == pytest.approx(150e-6, rel=0.05)
+
+    def test_rejects_p99_below_mean(self):
+        with pytest.raises(ValueError):
+            lognormal_params(1.0, 0.5)
+
+    def test_sampler_positive(self):
+        sampler = base_rtt_sampler(HOST.stacks["udp"])
+        draws = sampler(np.random.default_rng(1), 1000)
+        assert (draws > 0).all()

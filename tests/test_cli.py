@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = {
+            name
+            for action in parser._subparsers._group_actions
+            for name in action.choices
+        }
+        assert {"fig4", "fig5", "fig6", "fig7", "table4", "table5",
+                "observations", "tables", "strategy1", "modes",
+                "sensitivity", "microburst", "report"} <= actions
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_flags(self):
+        args = build_parser().parse_args(["--samples", "10", "fig7"])
+        assert args.samples == 10
+
+
+class TestCheapCommands:
+    """Run the fast subcommands end to end."""
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "avg 0.76" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+
+    def test_modes(self, capsys):
+        assert main(["modes"]) == 0
+        assert "on-path tax" in capsys.readouterr().out
+
+    def test_table4_small(self, capsys):
+        assert main(["--samples", "60", "--requests", "3000", "table4"]) == 0
+        assert "Throughput" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(["--samples", "40", "--requests", "3000",
+                     "report", "-o", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "paper vs. measured" in text
+        assert "| Fig4 |" in text

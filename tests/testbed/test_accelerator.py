@@ -1,0 +1,144 @@
+"""Tests for the DOCA-style accelerator device."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.functions.regex.rulesets import load_ruleset
+from repro.testbed.accelerator import (
+    AcceleratorDevice,
+    DocaError,
+    compression_device,
+    rem_device,
+)
+
+
+class TestDeviceContract:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(DocaError):
+            AcceleratorDevice(Simulator(), "quantum")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(DocaError):
+            AcceleratorDevice(Simulator(), "compression", mode="brotli")
+
+    def test_submit_before_program_rejected(self):
+        device = AcceleratorDevice(Simulator(), "rem")
+        with pytest.raises(DocaError):
+            device.submit([b"data"])
+
+    def test_empty_job_rejected(self):
+        device = AcceleratorDevice(Simulator(), "rem")
+        device.program(lambda b: None)
+        with pytest.raises(DocaError):
+            device.submit([])
+
+    def test_batch_limit_enforced(self):
+        device = AcceleratorDevice(Simulator(), "rem")
+        device.program(lambda b: None)
+        too_many = [b"x"] * (device.calibration.max_batch + 1)
+        with pytest.raises(DocaError):
+            device.submit(too_many)
+
+
+class TestRemDevice:
+    def test_finds_planted_pattern(self):
+        sim = Simulator()
+        device = rem_device(sim, "file_executable")
+        fragment = load_ruleset("file_executable").seed_fragments[0]
+        results = []
+
+        def client():
+            job = yield device.submit([b"clean data", b"bad " + fragment])
+            results.append(job)
+
+        sim.process(client())
+        sim.run()
+        job = results[0]
+        assert job.results[0] == []  # clean buffer
+        assert job.results[1]  # matches in the seeded buffer
+
+    def test_latency_includes_setup(self):
+        sim = Simulator()
+        device = rem_device(sim, "file_executable")
+        results = []
+
+        def client():
+            job = yield device.submit([b"x" * 1500])
+            results.append(job.latency_s)
+
+        sim.process(client())
+        sim.run()
+        expected = device.calibration.setup_latency_s + 1500 / device.bytes_per_s
+        assert results[0] == pytest.approx(expected, rel=0.01)
+
+    def test_jobs_serialize_on_one_engine(self):
+        """Two jobs submitted together: the second waits for the first —
+        the serialization behind the ~50 Gb/s cap."""
+        sim = Simulator()
+        device = rem_device(sim, "file_executable")
+        latencies = []
+
+        def client():
+            first = device.submit([b"a" * 1500])
+            second = device.submit([b"b" * 1500])
+            job1 = yield first
+            latencies.append(job1.latency_s)
+            job2 = yield second
+            latencies.append(job2.latency_s)
+
+        sim.process(client())
+        sim.run()
+        assert latencies[1] > 1.8 * latencies[0]
+
+    def test_throughput_approaches_engine_rate(self):
+        """Saturating the engine with full batches: processed bytes/s must
+        approach the calibrated rate (the Fig. 5 cap)."""
+        sim = Simulator()
+        device = rem_device(sim, "file_executable")
+        batch = [b"z" * 1500] * device.calibration.max_batch
+        completions = []
+
+        def client():
+            for _ in range(30):
+                job = yield device.submit(batch)
+                completions.append(job)
+
+        sim.process(client())
+        sim.run()
+        gbps = device.bytes_processed * 8 / sim.now / 1e9
+        cap_gbps = device.bytes_per_s * 8 / 1e9
+        # Per-job setup shaves the raw engine rate down to the sustained
+        # ~50 Gb/s the paper measures (Key Observation 3).
+        assert 0.75 * cap_gbps <= gbps <= cap_gbps
+        assert 42.0 <= gbps <= 54.0
+
+
+class TestCompressionDevice:
+    def test_compresses_for_real(self):
+        from repro.functions.compression import deflate
+
+        sim = Simulator()
+        device = compression_device(sim)
+        payloads = []
+
+        def client():
+            job = yield device.submit([b"hello hello hello hello " * 20])
+            payloads.append(job.results[0])
+
+        sim.process(client())
+        sim.run()
+        restored, _ = deflate.decompress(payloads[0])
+        assert restored == b"hello hello hello hello " * 20
+
+    def test_stats_accumulate(self):
+        sim = Simulator()
+        device = compression_device(sim)
+
+        def client():
+            yield device.submit([b"abc" * 100])
+            yield device.submit([b"def" * 100])
+
+        sim.process(client())
+        sim.run()
+        assert device.jobs_completed == 2
+        assert device.bytes_processed == 600

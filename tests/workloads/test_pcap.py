@@ -1,0 +1,128 @@
+"""Tests for the PCAP container and capture synthesis."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import pcap, pktgen
+
+
+def make_records(n=5, size=100):
+    return [
+        pcap.PcapRecord(timestamp_s=i * 0.001, frame=bytes([i % 256]) * size,
+                        original_length=size)
+        for i in range(n)
+    ]
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        buffer = io.BytesIO()
+        records = make_records()
+        assert pcap.write_pcap(buffer, records) == 5
+        buffer.seek(0)
+        restored = list(pcap.read_pcap(buffer))
+        assert len(restored) == 5
+        for original, loaded in zip(records, restored):
+            assert loaded.frame == original.frame
+            assert loaded.timestamp_s == pytest.approx(original.timestamp_s, abs=1e-6)
+            assert loaded.original_length == original.original_length
+
+    def test_global_header_fields(self):
+        buffer = io.BytesIO()
+        pcap.write_pcap(buffer, [])
+        raw = buffer.getvalue()
+        assert len(raw) == 24
+        assert raw[:4] == b"\xd4\xc3\xb2\xa1"  # little-endian magic
+
+    def test_snaplen_truncates_capture(self):
+        buffer = io.BytesIO()
+        record = pcap.PcapRecord(0.0, b"x" * 200, original_length=200)
+        pcap.write_pcap(buffer, [record], snaplen=64)
+        buffer.seek(0)
+        loaded = next(pcap.read_pcap(buffer))
+        assert loaded.captured_length == 64
+        assert loaded.original_length == 200
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(pcap.PcapError):
+            list(pcap.read_pcap(io.BytesIO(b"\x00" * 24)))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(pcap.PcapError):
+            list(pcap.read_pcap(io.BytesIO(b"\xd4\xc3")))
+
+    def test_truncated_record_rejected(self):
+        buffer = io.BytesIO()
+        pcap.write_pcap(buffer, make_records(1))
+        data = buffer.getvalue()[:-10]
+        with pytest.raises(pcap.PcapError):
+            list(pcap.read_pcap(io.BytesIO(data)))
+
+    def test_microsecond_rollover(self):
+        buffer = io.BytesIO()
+        record = pcap.PcapRecord(1.9999996, b"x", 1)
+        pcap.write_pcap(buffer, [record])
+        buffer.seek(0)
+        loaded = next(pcap.read_pcap(buffer))
+        assert loaded.timestamp_s == pytest.approx(2.0, abs=1e-6)
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.binary(min_size=1, max_size=80)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, items):
+        records = [
+            pcap.PcapRecord(timestamp_s=t, frame=f, original_length=len(f))
+            for t, f in items
+        ]
+        buffer = io.BytesIO()
+        pcap.write_pcap(buffer, records)
+        buffer.seek(0)
+        restored = list(pcap.read_pcap(buffer))
+        assert [r.frame for r in restored] == [r.frame for r in records]
+
+
+class TestSynthesis:
+    def test_capture_matches_sample(self):
+        rng = np.random.default_rng(0)
+        sample = pktgen.pcap_mix_stream(5.0, 200, rng)
+        records = pcap.synthesize_capture(sample, rng)
+        assert len(records) == 200
+        # frames = payload + 42 bytes of encapsulation
+        for record, size in zip(records, sample.sizes):
+            assert record.captured_length == int(size) + 42
+
+    def test_statistics(self):
+        rng = np.random.default_rng(1)
+        sample = pktgen.gbps_stream(10.0, 1024, 2000, rng)
+        records = pcap.synthesize_capture(sample, rng)
+        stats = pcap.capture_statistics(records)
+        assert stats["packets"] == 2000
+        assert stats["gbps"] == pytest.approx(10.4, rel=0.1)  # + headers
+
+    def test_empty_statistics(self):
+        assert pcap.capture_statistics([])["packets"] == 0
+
+    def test_seeded_capture_scannable(self):
+        """End-to-end: synthesize an infected capture to disk, read it
+        back, and let the REM engine find the plants."""
+        from repro.functions.regex.rulesets import compile_ruleset, load_ruleset
+
+        rng = np.random.default_rng(2)
+        fragments = load_ruleset("file_executable").seed_fragments
+        sample = pktgen.gbps_stream(1.0, 1024, 150, rng)
+        records = pcap.synthesize_capture(
+            sample, rng, seed_fragments=fragments, seed_probability=0.1
+        )
+        buffer = io.BytesIO()
+        pcap.write_pcap(buffer, records)
+        buffer.seek(0)
+        matcher = compile_ruleset("file_executable")
+        hits = sum(
+            1 for record in pcap.read_pcap(buffer)
+            if matcher.contains_match(record.frame[42:])
+        )
+        assert hits >= 5

@@ -1,0 +1,135 @@
+"""Tests for the DPDK-Pktgen application model."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.workloads.pktgen_app import CLIENT_CORE_GBPS, PktgenApp, PktgenError
+
+
+def make_app(sim, ports=1, cores=8):
+    app = PktgenApp(sim, ports=ports, client_cores=cores)
+    received = []
+    for port in range(ports):
+        app.attach(port, received.append)
+    return app, received
+
+
+class TestConsole:
+    def test_set_rate(self):
+        sim = Simulator()
+        app, _ = make_app(sim)
+        assert "rate 40.0%" in app.command("set 0 rate 40")
+        assert app.configs[0].rate_percent == 40.0
+
+    def test_set_size(self):
+        sim = Simulator()
+        app, _ = make_app(sim)
+        app.command("set 0 size 1500")
+        assert app.configs[0].size_bytes == 1500
+
+    def test_appendix_workflow(self):
+        """The artifact's exact sequence: set rate, start, stop."""
+        sim = Simulator()
+        app, received = make_app(sim)
+        app.command("set 0 rate 10")
+        app.command("set 0 size 1500")
+        app.command("start 0")
+        sim.run(until=1e-3)
+        app.command("stop 0")
+        sim.run(until=2e-3)
+        assert len(received) > 100
+        assert app.stats[0].tx_packets == len(received)
+
+    @pytest.mark.parametrize("bad", [
+        "", "warp 9", "set 0 rate 0", "set 0 rate 150", "set 0 size 10",
+        "set 9 rate 50", "start 9", "set 0 flux 1",
+    ])
+    def test_bad_commands_rejected(self, bad):
+        sim = Simulator()
+        app, _ = make_app(sim)
+        with pytest.raises(PktgenError):
+            app.command(bad)
+
+    def test_start_without_sink(self):
+        sim = Simulator()
+        app = PktgenApp(sim)
+        with pytest.raises(PktgenError):
+            app.command("start 0")
+
+
+class TestPacing:
+    def test_rate_percent_scales_pps(self):
+        sim = Simulator()
+        app, received = make_app(sim)
+        app.command("set 0 size 1500")
+        app.command("set 0 rate 10")  # 10% of line rate at MTU
+        app.command("start 0")
+        sim.run(until=5e-3)
+        app.command("stop 0")
+        measured_gbps = app.stats[0].tx_gbps()
+        assert measured_gbps == pytest.approx(10.0, rel=0.15)
+
+    def test_client_cpu_ceiling(self):
+        """§3.4: one client core cannot exceed ~70 Gb/s."""
+        sim = Simulator()
+        app, _ = make_app(sim, cores=1)
+        app.command("set 0 size 1500")
+        app.command("set 0 rate 100")
+        pps = app.effective_pps(0)
+        gbps = pps * 1500 * 8 / 1e9
+        assert gbps <= CLIENT_CORE_GBPS * 1.01
+
+    def test_eight_cores_reach_line_rate(self):
+        sim = Simulator()
+        app, _ = make_app(sim, cores=8)
+        app.command("set 0 size 1500")
+        pps = app.effective_pps(0)
+        gbps = pps * (1500 + 20) * 8 / 1e9
+        assert gbps == pytest.approx(100.0, rel=0.05)
+
+    def test_stop_halts_emission(self):
+        sim = Simulator()
+        app, received = make_app(sim)
+        app.command("set 0 rate 50")
+        app.command("start 0")
+        sim.run(until=1e-4)
+        app.command("stop 0")
+        count = len(received)
+        sim.run(until=1e-3)
+        assert len(received) == count
+
+    def test_restart_resets_stats(self):
+        sim = Simulator()
+        app, received = make_app(sim)
+        app.command("set 0 rate 50")
+        app.command("start 0")
+        sim.run(until=1e-4)
+        app.command("stop 0")
+        first = app.stats[0].tx_packets
+        app.command("start 0")
+        sim.run(until=2e-4)
+        app.command("stop 0")
+        assert app.stats[0].tx_packets < first + len(received)
+
+    def test_multi_port_independent(self):
+        sim = Simulator()
+        app = PktgenApp(sim, ports=2)
+        a, b = [], []
+        app.attach(0, a.append)
+        app.attach(1, b.append)
+        app.command("set 0 rate 1")
+        app.command("set 1 rate 10")
+        app.command("start 0")
+        app.command("start 1")
+        sim.run(until=1e-4)
+        assert len(b) > 3 * len(a)
+
+    def test_stats_page(self):
+        sim = Simulator()
+        app, _ = make_app(sim)
+        app.command("set 0 rate 5")
+        app.command("start 0")
+        sim.run(until=1e-4)
+        app.command("stop 0")
+        page = app.page_stats()
+        assert "port 0" in page and "Gb/s" in page
