@@ -9,6 +9,7 @@ Usage::
     python -m repro table4            # Table 4 trace replay
     python -m repro table5            # Table 5 TCO
     python -m repro observations      # O1-O5 verdicts
+    python -m repro faults [--smoke]  # availability under fault scenarios
     python -m repro report [-o FILE]  # full EXPERIMENTS.md
 """
 
@@ -63,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
                  "observations", "tables", "strategy1", "modes",
                  "sensitivity", "microburst"):
         sub.add_parser(name, help=f"regenerate {name}")
+    faults = sub.add_parser(
+        "faults", help="availability under fault scenarios (failover study)"
+    )
+    faults.add_argument("--smoke", action="store_true",
+                        help="tiny deterministic subset (seconds, for CI)")
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default=None,
                         help="write to a file instead of stdout")
@@ -168,6 +174,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print(format_microburst(run_microburst_study(
             samples=args.samples, n_requests=args.requests, streams=streams)))
+    elif args.command == "faults":
+        from .experiments.faults import format_faults, run_faults_study
+
+        print(format_faults(run_faults_study(
+            samples=args.samples, n_requests=args.requests, streams=streams,
+            smoke=args.smoke)))
     elif args.command == "report":
         text = generate_report(samples=args.samples, n_requests=args.requests,
                                streams=streams)

@@ -34,6 +34,32 @@ class SweepResult:
     def goodput_gbps(self) -> float:
         return self.metrics.goodput_gbps
 
+    @property
+    def sustainable(self) -> bool:
+        """Did any probe actually sustain its offered rate?"""
+        return any(m.sustained for m in self.probes)
+
+    @property
+    def failed_probes(self) -> int:
+        """Probes whose ``run_at`` raised (recorded, not propagated)."""
+        return sum(1 for m in self.probes if m.extra.get("probe_failed"))
+
+
+def _failed_probe_metrics(rate: float, error: Exception) -> RunMetrics:
+    """A well-defined sentinel for a probe whose ``run_at`` raised."""
+    return RunMetrics(
+        offered_rate=rate,
+        duration=0.0,
+        completed=0,
+        completed_rate=0.0,
+        goodput_gbps=0.0,
+        latency_p50=float("inf"),
+        latency_p99=float("inf"),
+        latency_mean=float("inf"),
+        dropped=0,
+        extra={"probe_failed": 1.0},
+    )
+
 
 def _acceptable(metrics: RunMetrics, slo_p99: Optional[float]) -> bool:
     if not metrics.sustained:
@@ -56,6 +82,13 @@ def find_max_sustainable_rate(
     ``slo_p99`` (seconds) optionally bounds the p99 at the chosen point —
     this is how SLO-constrained operating points are located.  ``tolerance``
     is the relative width at which bisection stops.
+
+    A ``run_at`` that raises is contained: the failed probe is recorded in
+    ``SweepResult.probes`` (see ``SweepResult.failed_probes``) and treated
+    as unsustainable.  If nothing — including the floor — sustains, the
+    result still carries ``max_rate=low_rate`` with ``sustainable`` False:
+    a well-defined "no sustainable rate" answer instead of an exception
+    mid-search.
     """
     if low_rate <= 0 or high_rate <= low_rate:
         raise ValueError("need 0 < low_rate < high_rate")
@@ -63,7 +96,13 @@ def find_max_sustainable_rate(
     probes: List[RunMetrics] = []
 
     def probe(rate: float) -> RunMetrics:
-        metrics = run_at(rate)
+        # A probe that raises (a fault scenario with a dead path, a model
+        # bug at an extreme rate) must not abort the whole search: record
+        # it as an unsustainable point and let the bracketing continue.
+        try:
+            metrics = run_at(rate)
+        except Exception as error:  # noqa: BLE001 — deliberate containment
+            metrics = _failed_probe_metrics(rate, error)
         probes.append(metrics)
         return metrics
 

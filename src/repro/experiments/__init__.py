@@ -19,6 +19,13 @@ from .observations import (
     observation_4,
     observation_5,
 )
+from .faults import (
+    FaultStudyResult,
+    FunctionFaultReport,
+    ScenarioResult,
+    format_faults,
+    run_faults_study,
+)
 from .profiles import ALL_PROFILE_KEYS, FunctionProfile, get_profile
 from .modes import format_mode_study, run_mode_study
 from .sensitivity import format_sensitivity, run_sensitivity
@@ -66,4 +73,9 @@ __all__ = [
     "run_sensitivity",
     "format_strategy1",
     "run_strategy1",
+    "FaultStudyResult",
+    "FunctionFaultReport",
+    "ScenarioResult",
+    "format_faults",
+    "run_faults_study",
 ]

@@ -1,0 +1,83 @@
+"""DES-driven fault injection.
+
+The :class:`FaultInjector` walks a :class:`~repro.faults.schedule.
+FaultTimeline` on the event kernel: for every materialized episode it
+schedules an onset event and a recovery event, and calls the attached
+target's ``fault_begin`` / ``fault_end`` hooks at those simulated times.
+Anything that implements the two-method :class:`FaultTarget` protocol can
+be attached — a :class:`~repro.netstack.link.Link`, an accelerator model,
+or a bare recording stub in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Protocol, runtime_checkable
+
+from ..core.engine import Simulator
+from .schedule import ActiveFault, FaultTimeline
+
+
+@runtime_checkable
+class FaultTarget(Protocol):
+    """What a component must implement to be fault-injectable."""
+
+    def fault_begin(self, fault: ActiveFault) -> None: ...
+
+    def fault_end(self, fault: ActiveFault) -> None: ...
+
+
+@dataclass
+class InjectionRecord:
+    """One line of the injector's event log."""
+
+    time_s: float
+    fault_name: str
+    target: str
+    phase: str  # "begin" | "end"
+
+
+class FaultInjector:
+    """Schedules fault onset/recovery callbacks on the event kernel."""
+
+    def __init__(self, sim: Simulator, timeline: FaultTimeline):
+        self.sim = sim
+        self.timeline = timeline
+        self._targets: Dict[str, List[FaultTarget]] = {}
+        self.log: List[InjectionRecord] = []
+        self._started = False
+
+    def attach(self, target_name: str, target: FaultTarget) -> None:
+        """Register a component under the spec's ``target`` name."""
+        self._targets.setdefault(target_name, []).append(target)
+
+    def start(self) -> None:
+        """Spawn one kernel process per episode; idempotent."""
+        if self._started:
+            raise RuntimeError("injector already started")
+        self._started = True
+        for episode in self.timeline.all_episodes():
+            self.sim.process(self._drive(episode), name=f"fault:{episode.spec.name}")
+
+    def _drive(self, episode: ActiveFault):
+        now = self.sim.now
+        if episode.start_s > now:
+            yield self.sim.timeout(episode.start_s - now)
+        self._dispatch(episode, "begin")
+        yield self.sim.timeout(max(0.0, episode.end_s - self.sim.now))
+        self._dispatch(episode, "end")
+
+    def _dispatch(self, episode: ActiveFault, phase: str) -> None:
+        self.log.append(
+            InjectionRecord(
+                time_s=self.sim.now,
+                fault_name=episode.spec.name,
+                target=episode.spec.target,
+                phase=phase,
+            )
+        )
+        for target in self._targets.get(episode.spec.target, []):
+            if phase == "begin":
+                target.fault_begin(episode)
+            else:
+                target.fault_end(episode)

@@ -1,6 +1,6 @@
 """Networking stacks: packets, links, UDP, TCP, DPDK, RDMA."""
 
-from .link import DuplexChannel, Link
+from .link import DuplexChannel, GilbertElliottLoss, Link
 from .packet import Flow, Packet, format_ip, ip
 from .udp import UdpEndpoint, UdpSocket, run_echo_server
 from .tcp import TcpConnection, TcpEndpoint, TcpListener, TcpState
@@ -9,6 +9,7 @@ from .rdma import Completion, MemoryRegion, OpCode, QueuePair, RdmaError, RdmaNi
 
 __all__ = [
     "DuplexChannel",
+    "GilbertElliottLoss",
     "Link",
     "Flow",
     "Packet",

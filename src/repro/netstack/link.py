@@ -4,6 +4,18 @@ Models the 100 Gbps cable between the client and server (Fig. 3):
 serialization delay from packet size and link rate, fixed propagation
 delay, and optional random loss.  Both stack models and integration tests
 move packets through :class:`Link` objects.
+
+Loss comes in three flavours:
+
+* i.i.d. Bernoulli (``loss_probability``) — the classic random-drop cable;
+* bursty correlated loss (:class:`GilbertElliottLoss`) — a two-state
+  Markov chain where drops cluster into episodes, as congestion loss does
+  in real fabrics;
+* link flaps — the link goes administratively down for a window and every
+  packet sent meanwhile is lost.  Flaps are driven either directly via
+  :meth:`Link.set_down` or by attaching the link to a
+  :class:`~repro.faults.injector.FaultInjector` (the link implements the
+  fault-target protocol for ``link-flap`` / ``outage`` faults).
 """
 
 from __future__ import annotations
@@ -19,6 +31,53 @@ from .packet import Packet
 Receiver = Callable[[Packet], None]
 
 
+class GilbertElliottLoss:
+    """Two-state (good/bad) Markov loss model: drops arrive in bursts.
+
+    Each packet first advances the chain, then draws a loss from the
+    current state's loss probability.  With ``loss_bad`` near 1 and a small
+    ``p_bad_to_good``, losses cluster into multi-packet episodes whose mean
+    length is ``1 / p_bad_to_good`` — i.i.d. Bernoulli cannot express that.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_bad: float = 1.0,
+        loss_good: float = 0.0,
+    ):
+        for name, p in (("p_good_to_bad", p_good_to_bad),
+                        ("p_bad_to_good", p_bad_to_good),
+                        ("loss_bad", loss_bad), ("loss_good", loss_good)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_bad = loss_bad
+        self.loss_good = loss_good
+        self.bad = False
+
+    @property
+    def steady_state_loss(self) -> float:
+        """Long-run loss fraction of the chain."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0.0:
+            return self.loss_bad if self.bad else self.loss_good
+        bad_fraction = self.p_good_to_bad / denom
+        return bad_fraction * self.loss_bad + (1 - bad_fraction) * self.loss_good
+
+    def lost(self, rng: np.random.Generator) -> bool:
+        if self.bad:
+            if rng.random() < self.p_bad_to_good:
+                self.bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self.bad = True
+        p = self.loss_bad if self.bad else self.loss_good
+        return bool(p) and rng.random() < p
+
+
 class Link:
     """Unidirectional link delivering packets to a receiver callback."""
 
@@ -30,27 +89,49 @@ class Link:
         loss_probability: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         jitter_s: float = 0.0,
+        loss_model: Optional[GilbertElliottLoss] = None,
     ):
         """``jitter_s`` adds uniform random extra delay per packet, which
         can reorder deliveries (multi-path / switch-buffer effects)."""
         if gbps <= 0:
             raise ValueError("link rate must be positive")
-        if not 0.0 <= loss_probability < 1.0:
-            raise ValueError("loss probability must be in [0, 1)")
+        # Closed interval: p = 1.0 is a fully dead link, which fault
+        # scenarios legitimately express.
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
         if jitter_s < 0:
             raise ValueError("jitter must be non-negative")
-        if (loss_probability or jitter_s) and rng is None:
+        if (loss_probability or jitter_s or loss_model is not None) and rng is None:
             raise ValueError("loss/jitter require an rng")
         self.sim = sim
         self.bytes_per_second = gbps_to_bytes_per_second(gbps)
         self.propagation_s = propagation_s
         self.loss_probability = loss_probability
         self.jitter_s = jitter_s
+        self.loss_model = loss_model
         self.rng = rng
         self.receiver: Optional[Receiver] = None
         self.delivered = 0
         self.lost = 0
+        self.flap_lost = 0  # subset of ``lost`` dropped while the link was down
+        self.down = False
         self._busy_until = 0.0
+
+    def set_down(self, down: bool) -> None:
+        """Administratively flap the link; packets sent while down are lost."""
+        self.down = down
+
+    # -- fault-target protocol (repro.faults.injector) -----------------------
+
+    def fault_begin(self, fault) -> None:
+        if fault.spec.kind in ("link-flap", "outage"):
+            self.set_down(True)
+
+    def fault_end(self, fault) -> None:
+        if fault.spec.kind in ("link-flap", "outage"):
+            self.set_down(False)
+
+    # ------------------------------------------------------------------------
 
     def attach(self, receiver: Receiver) -> None:
         self.receiver = receiver
@@ -59,6 +140,14 @@ class Link:
         """Queue a packet for transmission (FIFO serialization)."""
         if self.receiver is None:
             raise RuntimeError("link has no receiver attached")
+        if self.down:
+            self.lost += 1
+            self.flap_lost += 1
+            return
+        if self.loss_model is not None and self.rng is not None:
+            if self.loss_model.lost(self.rng):
+                self.lost += 1
+                return
         if self.loss_probability and self.rng is not None:
             if self.rng.random() < self.loss_probability:
                 self.lost += 1

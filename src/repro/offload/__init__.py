@@ -8,14 +8,24 @@ from .advisor import (
     recommend,
 )
 from .loadbalancer import (
+    ROUTE_DROP,
+    ROUTE_HOST,
+    ROUTE_SNIC,
     BalancerConfig,
     BalancerOutcome,
+    FailoverOutcome,
     hardware_balancer,
     simulate_balancer,
+    simulate_failover,
     snic_cpu_balancer,
 )
 
 __all__ = [
+    "ROUTE_DROP",
+    "ROUTE_HOST",
+    "ROUTE_SNIC",
+    "FailoverOutcome",
+    "simulate_failover",
     "PlacementDecision",
     "PlatformPrediction",
     "placement_table",

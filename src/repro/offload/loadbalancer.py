@@ -1,4 +1,4 @@
-"""Host/SNIC load balancing (Strategy 3, §5.3).
+"""Host/SNIC load balancing (Strategy 3, §5.3) and SNIC→host failover.
 
 The paper's preliminary investigation: a load balancer implemented on the
 BlueField-2 CPU "consumes most of the SNIC CPU cycles simply to monitor
@@ -16,12 +16,20 @@ Both run the same threshold policy: send a packet to the host when the
 SNIC path's (observed) backlog exceeds a bound.  `simulate_balancer`
 drives either over an arrival stream and reports per-path latency, loss,
 and the split.
+
+`simulate_failover` extends the same policy with a fault-aware SNIC path:
+given a health model (:class:`~repro.faults.models.SnicHealth`), the SNIC
+backlog stops draining during an outage, packets queued behind a dead
+path see the remaining outage in their sojourn, and the threshold policy
+— through its existing reaction-delay machinery — detects the inflated
+observed backlog, redirects to the host, and fails back once the path
+recovers and drains.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +70,164 @@ class BalancerOutcome:
         return self.dropped / total if total else 0.0
 
 
+ROUTE_SNIC, ROUTE_HOST, ROUTE_DROP = 0, 1, 2
+
+
+@dataclass
+class FailoverOutcome:
+    """A balancer run with per-packet routing visibility and SLO accounting."""
+
+    outcome: BalancerOutcome
+    deadline_s: Optional[float]
+    p999_latency_s: float
+    arrivals: np.ndarray  # arrival time of every offered packet
+    routes: np.ndarray  # ROUTE_SNIC / ROUTE_HOST / ROUTE_DROP per packet
+    latencies: np.ndarray  # sojourn of every *kept* packet (arrival order)
+    outage_windows: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def offered(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests served (within the deadline if set)."""
+        if self.offered == 0:
+            return 1.0
+        served = self.routes != ROUTE_DROP
+        if self.deadline_s is None:
+            return float(np.mean(served))
+        ok = self.latencies <= self.deadline_s
+        return float(np.sum(ok)) / self.offered
+
+    def host_fraction_between(self, t0: float, t1: float) -> float:
+        """Host share of routed packets arriving in ``[t0, t1)``."""
+        window = (self.arrivals >= t0) & (self.arrivals < t1)
+        routed = window & (self.routes != ROUTE_DROP)
+        if not routed.any():
+            return 0.0
+        return float(np.mean(self.routes[routed] == ROUTE_HOST))
+
+    def drops_between(self, t0: float, t1: float) -> int:
+        window = (self.arrivals >= t0) & (self.arrivals < t1)
+        return int(np.sum(self.routes[window] == ROUTE_DROP))
+
+    def recovery_times_s(self) -> List[float]:
+        """Per outage window: delay from recovery until traffic returns to
+        the SNIC path (inf if it never fails back within the run)."""
+        times: List[float] = []
+        for _, end in self.outage_windows:
+            after = (self.arrivals >= end) & (self.routes == ROUTE_SNIC)
+            if after.any():
+                times.append(float(self.arrivals[after][0] - end))
+            else:
+                times.append(float("inf"))
+        return times
+
+
+def _run_policy(
+    config: BalancerConfig,
+    rate: float,
+    n_packets: int,
+    rng: np.random.Generator,
+    snic_health=None,
+) -> Tuple[BalancerOutcome, np.ndarray, np.ndarray, np.ndarray]:
+    """The threshold policy over a Poisson stream; shared by both entry
+    points.  With ``snic_health`` (duck-typed: ``available(t)``,
+    ``service_factor(t)``, ``unavailable_until(t)``) the SNIC path carries
+    fault state; with None the arithmetic is exactly the classic balancer.
+    """
+    gaps = rng.exponential(1.0 / rate, size=n_packets)
+    arrivals = np.cumsum(gaps)
+    snic_effective = config.snic_service_s / config.snic_cores
+    host_effective = config.host_service_s / config.host_cores
+    monitor_effective = config.monitor_cost_s / config.snic_cores
+
+    snic_backlog = 0.0
+    host_backlog = 0.0
+    history: list = []  # (time, observed backlog) for delayed observation
+    latencies = np.empty(n_packets)
+    routes = np.full(n_packets, ROUTE_DROP, dtype=np.int8)
+    kept = 0
+    to_snic = to_host = dropped = 0
+    monitor_busy = 0.0
+    previous = 0.0
+
+    for index in range(n_packets):
+        now = arrivals[index]
+        elapsed = now - previous
+        previous = now
+
+        if snic_health is None:
+            snic_backlog = max(0.0, snic_backlog - elapsed)
+            head_delay = 0.0
+            factor = 1.0
+        else:
+            available = snic_health.available(now)
+            # A dead path does not drain its queue.
+            if available:
+                snic_backlog = max(0.0, snic_backlog - elapsed)
+            head_delay = (
+                0.0 if available else snic_health.unavailable_until(now) - now
+            )
+            factor = snic_health.service_factor(now) if available else 1.0
+        host_backlog = max(0.0, host_backlog - elapsed)
+
+        # Monitoring happens on the SNIC CPU for every packet.
+        snic_backlog += monitor_effective
+        monitor_busy += config.monitor_cost_s
+
+        # What the policy could see *right now*: queued work plus, during an
+        # outage, the wait for the path to come back at all.
+        snic_visible = snic_backlog + head_delay
+
+        if config.reaction_delay_s > 0.0:
+            history.append((now, snic_visible))
+            cutoff = now - config.reaction_delay_s
+            observed = 0.0
+            while len(history) > 1 and history[1][0] <= cutoff:
+                history.pop(0)
+            if history and history[0][0] <= cutoff:
+                observed = history[0][1]
+        else:
+            observed = snic_visible
+
+        if observed <= config.redirect_threshold_s:
+            if snic_visible > config.snic_queue_limit_s:
+                dropped += 1
+                continue
+            # Work queued behind a dead path is served at the nominal rate
+            # after recovery; a throttled path inflates it by ``factor``.
+            addition = snic_effective if head_delay > 0.0 else snic_effective * factor
+            snic_backlog += addition
+            latencies[kept] = snic_backlog + head_delay
+            routes[index] = ROUTE_SNIC
+            to_snic += 1
+        else:
+            if host_backlog > config.host_queue_limit_s:
+                dropped += 1
+                continue
+            host_backlog += host_effective
+            latencies[kept] = host_backlog
+            routes[index] = ROUTE_HOST
+            to_host += 1
+        kept += 1
+
+    latencies = latencies[:kept]
+    duration = float(arrivals[-1]) if n_packets else 0.0
+    outcome = BalancerOutcome(
+        sent_to_snic=to_snic,
+        sent_to_host=to_host,
+        dropped=dropped,
+        p99_latency_s=float(np.percentile(latencies, 99)) if kept else float("inf"),
+        mean_latency_s=float(np.mean(latencies)) if kept else float("inf"),
+        snic_monitor_utilization=(
+            monitor_busy / (duration * config.snic_cores) if duration else 0.0
+        ),
+    )
+    return outcome, arrivals, routes, latencies
+
+
 def simulate_balancer(
     config: BalancerConfig,
     rate: float,
@@ -76,70 +242,39 @@ def simulate_balancer(
     ``monitor_cost_s`` of SNIC CPU time whether or not it is redirected —
     that is what starves the SNIC-CPU implementation at high rates.
     """
-    gaps = rng.exponential(1.0 / rate, size=n_packets)
-    arrivals = np.cumsum(gaps)
-    snic_effective = config.snic_service_s / config.snic_cores
-    host_effective = config.host_service_s / config.host_cores
-    monitor_effective = config.monitor_cost_s / config.snic_cores
+    outcome, _, _, _ = _run_policy(config, rate, n_packets, rng)
+    return outcome
 
-    snic_backlog = 0.0
-    host_backlog = 0.0
-    history: list = []  # (time, backlog) for delayed observation
-    latencies = np.empty(n_packets)
-    kept = 0
-    to_snic = to_host = dropped = 0
-    monitor_busy = 0.0
-    previous = 0.0
 
-    for index in range(n_packets):
-        now = arrivals[index]
-        elapsed = now - previous
-        previous = now
-        snic_backlog = max(0.0, snic_backlog - elapsed)
-        host_backlog = max(0.0, host_backlog - elapsed)
+def simulate_failover(
+    config: BalancerConfig,
+    rate: float,
+    n_packets: int,
+    rng: np.random.Generator,
+    snic_health=None,
+    deadline_s: Optional[float] = None,
+) -> FailoverOutcome:
+    """The threshold policy with a fault-aware SNIC path.
 
-        # Monitoring happens on the SNIC CPU for every packet.
-        snic_backlog += monitor_effective
-        monitor_busy += config.monitor_cost_s
-
-        if config.reaction_delay_s > 0.0:
-            history.append((now, snic_backlog))
-            cutoff = now - config.reaction_delay_s
-            observed = 0.0
-            while len(history) > 1 and history[1][0] <= cutoff:
-                history.pop(0)
-            if history and history[0][0] <= cutoff:
-                observed = history[0][1]
-        else:
-            observed = snic_backlog
-
-        if observed <= config.redirect_threshold_s:
-            if snic_backlog > config.snic_queue_limit_s:
-                dropped += 1
-                continue
-            snic_backlog += snic_effective
-            latencies[kept] = snic_backlog
-            to_snic += 1
-        else:
-            if host_backlog > config.host_queue_limit_s:
-                dropped += 1
-                continue
-            host_backlog += host_effective
-            latencies[kept] = host_backlog
-            to_host += 1
-        kept += 1
-
-    latencies = latencies[:kept]
-    duration = float(arrivals[-1]) if n_packets else 0.0
-    return BalancerOutcome(
-        sent_to_snic=to_snic,
-        sent_to_host=to_host,
-        dropped=dropped,
-        p99_latency_s=float(np.percentile(latencies, 99)) if kept else float("inf"),
-        mean_latency_s=float(np.mean(latencies)) if kept else float("inf"),
-        snic_monitor_utilization=(
-            monitor_busy / (duration * config.snic_cores) if duration else 0.0
-        ),
+    ``snic_health`` follows the :class:`~repro.faults.models.SnicHealth`
+    protocol; ``deadline_s`` turns availability into an SLO statement
+    (served AND within the deadline) rather than plain delivery.
+    """
+    outcome, arrivals, routes, latencies = _run_policy(
+        config, rate, n_packets, rng, snic_health=snic_health
+    )
+    windows: List[Tuple[float, float]] = []
+    if snic_health is not None and hasattr(snic_health, "outage_windows"):
+        windows = list(snic_health.outage_windows())
+    p999 = float(np.percentile(latencies, 99.9)) if len(latencies) else float("inf")
+    return FailoverOutcome(
+        outcome=outcome,
+        deadline_s=deadline_s,
+        p999_latency_s=p999,
+        arrivals=arrivals,
+        routes=routes,
+        latencies=latencies,
+        outage_windows=windows,
     )
 
 

@@ -88,6 +88,49 @@ def test_probes_recorded():
     assert result.goodput_gbps > 0
 
 
+def test_raising_probe_contained_and_recorded():
+    """Hardening: a run_at that blows up at high rates must not abort the
+    search — the failed probe is recorded and the knee is still found."""
+    inner = make_system(capacity=10_000.0)
+
+    def run_at(rate):
+        if rate > 5_000.0:
+            raise RuntimeError("model diverged")
+        return inner(rate)
+
+    result = find_max_sustainable_rate(run_at, low_rate=100.0, high_rate=1e6)
+    assert result.failed_probes >= 1
+    assert result.sustainable
+    # The raising region acts as the (contained) saturation boundary.
+    assert 4_500.0 <= result.max_rate <= 5_000.0
+    failed = [m for m in result.probes if m.extra.get("probe_failed")]
+    assert failed and all(m.latency_p99 == float("inf") for m in failed)
+    assert all(not m.sustained for m in failed)
+
+
+def test_all_probes_raising_yields_unsustainable_floor():
+    def run_at(rate):
+        raise RuntimeError("always broken")
+
+    result = find_max_sustainable_rate(run_at, low_rate=10.0, high_rate=1000.0)
+    assert result.max_rate == 10.0
+    assert not result.sustainable
+    assert result.failed_probes == len(result.probes) == 1
+    assert result.metrics.extra.get("probe_failed")
+
+
+def test_sustainable_flag_tracks_probe_outcomes():
+    good = find_max_sustainable_rate(
+        make_system(capacity=10_000.0), low_rate=100.0, high_rate=100_000.0
+    )
+    assert good.sustainable
+    assert good.failed_probes == 0
+    bad = find_max_sustainable_rate(
+        make_system(capacity=5.0), low_rate=10.0, high_rate=1000.0
+    )
+    assert not bad.sustainable
+
+
 def test_rate_response_curve_keys_match():
     run_at = make_system(capacity=10_000.0)
     rates = [100.0, 1000.0, 5000.0]

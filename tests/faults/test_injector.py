@@ -1,0 +1,148 @@
+"""Tests for the DES fault injector and the component health models."""
+
+import numpy as np
+
+from repro.core.engine import Simulator
+from repro.core.rng import RandomStreams
+from repro.faults import (
+    ComponentHealth,
+    FaultInjector,
+    FaultSpec,
+    FaultTimeline,
+    SnicHealth,
+)
+from repro.netstack.link import Link
+from repro.netstack.packet import PROTO_UDP, Packet
+
+
+def make_packet() -> Packet:
+    return Packet(proto=PROTO_UDP, src_ip=1, src_port=1234, dst_ip=2,
+                  dst_port=7, payload=b"x" * 64)
+
+
+class RecordingTarget:
+    def __init__(self, sim):
+        self.sim = sim
+        self.events = []
+
+    def fault_begin(self, fault):
+        self.events.append(("begin", fault.spec.name, self.sim.now))
+
+    def fault_end(self, fault):
+        self.events.append(("end", fault.spec.name, self.sim.now))
+
+
+class TestInjector:
+    def test_callbacks_fire_at_episode_boundaries(self):
+        sim = Simulator()
+        specs = [FaultSpec.one_shot("boom", "accel", start_s=2.0, duration_s=3.0)]
+        injector = FaultInjector(sim, FaultTimeline(specs, horizon_s=10.0))
+        target = RecordingTarget(sim)
+        injector.attach("accel", target)
+        injector.start()
+        sim.run()
+        assert target.events == [("begin", "boom", 2.0), ("end", "boom", 5.0)]
+        assert [(r.phase, r.time_s) for r in injector.log] == [
+            ("begin", 2.0), ("end", 5.0)
+        ]
+
+    def test_periodic_fault_toggles_repeatedly(self):
+        sim = Simulator()
+        specs = [FaultSpec.periodic("flap", "link", start_s=1.0, period_s=2.0,
+                                    duration_s=0.5)]
+        injector = FaultInjector(sim, FaultTimeline(specs, horizon_s=6.0))
+        target = RecordingTarget(sim)
+        injector.attach("link", target)
+        injector.start()
+        sim.run()
+        begins = [t for phase, _, t in target.events if phase == "begin"]
+        assert begins == [1.0, 3.0, 5.0]
+
+    def test_unattached_targets_only_logged(self):
+        sim = Simulator()
+        specs = [FaultSpec.one_shot("boom", "nowhere", 1.0, 1.0)]
+        injector = FaultInjector(sim, FaultTimeline(specs, horizon_s=5.0))
+        injector.start()
+        sim.run()
+        assert len(injector.log) == 2  # no crash without targets
+
+    def test_link_flap_loses_packets_while_down(self):
+        """End-to-end: injector drives a Link through a flap window."""
+        sim = Simulator()
+        received = []
+        link = Link(sim, gbps=100.0)
+        link.attach(received.append)
+        specs = [FaultSpec.one_shot("flap", "uplink", start_s=1.0,
+                                    duration_s=1.0, kind="link-flap")]
+        injector = FaultInjector(sim, FaultTimeline(specs, horizon_s=5.0))
+        injector.attach("uplink", link)
+        injector.start()
+
+        def sender():
+            for _ in range(30):
+                link.send(make_packet())
+                yield sim.timeout(0.1)
+
+        sim.process(sender())
+        sim.run()
+        assert link.flap_lost > 0
+        assert link.delivered == 30 - link.flap_lost
+        assert not link.down  # recovered
+
+
+class TestComponentHealth:
+    def test_outage_and_recovery(self):
+        sim = Simulator()
+        health = ComponentHealth("accel")
+        specs = [FaultSpec.one_shot("out", "accel", 1.0, 1.0, kind="outage")]
+        injector = FaultInjector(sim, FaultTimeline(specs, horizon_s=5.0))
+        injector.attach("accel", health)
+        injector.start()
+        sim.run(until=1.5)
+        assert not health.available
+        assert health.service_multiplier == float("inf")
+        sim.run()
+        assert health.available
+        assert health.fault_count == 1
+
+    def test_throttle_and_core_loss_compound(self):
+        health = ComponentHealth()
+        specs = [
+            FaultSpec.one_shot("hot", "x", 0.0, 2.0, kind="degrade", severity=2.0),
+            FaultSpec.one_shot("dead-cores", "x", 0.0, 2.0, kind="core-loss",
+                              severity=0.5),
+        ]
+        sim = Simulator()
+        injector = FaultInjector(sim, FaultTimeline(specs, horizon_s=5.0))
+        injector.attach("x", health)
+        injector.start()
+        sim.run(until=1.0)
+        assert health.throttle_factor == 2.0
+        assert health.core_fraction == 0.5
+        assert health.service_multiplier == 4.0
+
+
+class TestSnicHealth:
+    def test_timestamp_queries(self):
+        specs = [
+            FaultSpec.one_shot("out", "snic", 1.0, 1.0, kind="outage"),
+            FaultSpec.one_shot("hot", "snic", 3.0, 1.0, kind="degrade",
+                              severity=3.0),
+        ]
+        health = SnicHealth(FaultTimeline(specs, horizon_s=10.0), target="snic")
+        assert health.available(0.5)
+        assert not health.available(1.5)
+        assert health.unavailable_until(1.5) == 2.0
+        assert health.unavailable_until(0.5) == 0.5
+        assert health.service_factor(1.5) == float("inf")
+        assert health.service_factor(3.5) == 3.0
+        assert health.service_factor(5.0) == 1.0
+        assert health.outage_windows() == [(1.0, 2.0)]
+
+    def test_deterministic_masks(self):
+        streams = RandomStreams(11)
+        specs = [FaultSpec.stochastic("flaky", "snic", mtbf_s=0.1, mttr_s=0.02)]
+        a = FaultTimeline(specs, 5.0, RandomStreams(11))
+        b = FaultTimeline(specs, 5.0, streams)
+        times = np.linspace(0, 5, 1000)
+        assert (a.active_mask(times, "snic") == b.active_mask(times, "snic")).all()

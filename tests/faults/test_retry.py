@@ -1,0 +1,99 @@
+"""Tests for timeout/retry with exponential backoff and jitter."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import Simulator
+from repro.faults import RetryPolicy, retrying_process, simulate_retries
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.0)
+
+    def test_backoff_doubles_without_jitter(self):
+        policy = RetryPolicy(timeout_s=1e-3, backoff_factor=2.0,
+                             jitter_fraction=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.backoff_s(0, rng) == pytest.approx(1e-3)
+        assert policy.backoff_s(1, rng) == pytest.approx(2e-3)
+        assert policy.backoff_s(3, rng) == pytest.approx(8e-3)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(timeout_s=1e-3, jitter_fraction=0.2)
+        rng = np.random.default_rng(1)
+        draws = [policy.backoff_s(0, rng) for _ in range(200)]
+        assert all(0.8e-3 <= d <= 1.2e-3 for d in draws)
+        assert max(draws) > 1.05e-3 and min(draws) < 0.95e-3
+
+    def test_deterministic_with_seeded_rng(self):
+        policy = RetryPolicy(timeout_s=1e-3, jitter_fraction=0.3)
+        a = [policy.backoff_s(i, np.random.default_rng(5)) for i in range(3)]
+        b = [policy.backoff_s(i, np.random.default_rng(5)) for i in range(3)]
+        assert a == b
+
+
+class TestSimulateRetries:
+    def test_first_attempt_success_has_no_delay(self):
+        policy = RetryPolicy(timeout_s=1e-3)
+        outcome = simulate_retries(lambda i: False, policy,
+                                   np.random.default_rng(0))
+        assert outcome.delivered and outcome.attempts == 1
+        assert outcome.extra_delay_s == 0.0
+
+    def test_eventual_success_accumulates_backoff(self):
+        policy = RetryPolicy(timeout_s=1e-3, jitter_fraction=0.0)
+        outcome = simulate_retries(lambda i: i < 2, policy,
+                                   np.random.default_rng(0))
+        assert outcome.delivered and outcome.attempts == 3
+        assert outcome.extra_delay_s == pytest.approx(1e-3 + 2e-3)
+
+    def test_exhaustion_reports_undelivered(self):
+        policy = RetryPolicy(timeout_s=1e-3, max_attempts=3,
+                             jitter_fraction=0.0)
+        outcome = simulate_retries(lambda i: True, policy,
+                                   np.random.default_rng(0))
+        assert not outcome.delivered
+        assert outcome.attempts == 3
+        # No backoff is charged after the final (failed) attempt.
+        assert outcome.extra_delay_s == pytest.approx(1e-3 + 2e-3)
+
+
+class TestRetryingProcess:
+    def _drive(self, fail_first_n, policy):
+        sim = Simulator()
+        attempts = []
+
+        def attempt(i):
+            attempts.append((i, sim.now))
+            event = sim.event()
+            event.trigger(i >= fail_first_n)  # succeed after n failures
+            return event
+
+        rng = np.random.default_rng(0)
+        process = sim.process(retrying_process(sim, attempt, policy, rng))
+        sim.run()
+        return process.value, attempts, sim
+
+    def test_retries_sleep_on_kernel_clock(self):
+        policy = RetryPolicy(timeout_s=1e-3, jitter_fraction=0.0)
+        outcome, attempts, sim = self._drive(2, policy)
+        assert outcome.delivered and outcome.attempts == 3
+        # Attempt times: 0, after 1 ms backoff, after 2 ms more.
+        times = [t for _, t in attempts]
+        assert times == pytest.approx([0.0, 1e-3, 3e-3])
+        assert sim.now == pytest.approx(3e-3)
+
+    def test_gives_up_after_max_attempts(self):
+        policy = RetryPolicy(timeout_s=1e-3, max_attempts=2,
+                             jitter_fraction=0.0)
+        outcome, attempts, _ = self._drive(99, policy)
+        assert not outcome.delivered
+        assert len(attempts) == 2

@@ -15,7 +15,7 @@ class TestParser:
         }
         assert {"fig4", "fig5", "fig6", "fig7", "table4", "table5",
                 "observations", "tables", "strategy1", "modes",
-                "sensitivity", "microburst", "report"} <= actions
+                "sensitivity", "microburst", "report", "faults"} <= actions
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -24,6 +24,24 @@ class TestParser:
     def test_global_flags(self):
         args = build_parser().parse_args(["--samples", "10", "fig7"])
         assert args.samples == 10
+
+    def test_faults_flags(self):
+        args = build_parser().parse_args(["faults", "--smoke"])
+        assert args.command == "faults"
+        assert args.smoke
+
+    def test_every_verb_help_exits_zero(self, capsys):
+        parser = build_parser()
+        verbs = {
+            name
+            for action in parser._subparsers._group_actions
+            for name in action.choices
+        }
+        for verb in sorted(verbs):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args([verb, "--help"])
+            assert excinfo.value.code == 0, f"{verb} --help failed"
+            assert capsys.readouterr().out  # usage text was printed
 
 
 class TestCheapCommands:
@@ -46,6 +64,12 @@ class TestCheapCommands:
     def test_table4_small(self, capsys):
         assert main(["--samples", "60", "--requests", "3000", "table4"]) == 0
         assert "Throughput" in capsys.readouterr().out
+
+    def test_faults_smoke(self, capsys):
+        assert main(["faults", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "snic-outage" in out
+        assert "avail" in out
 
     def test_report_to_file(self, tmp_path, capsys):
         target = tmp_path / "report.md"
