@@ -10,6 +10,10 @@ Run with::
     pytest benchmarks/ --benchmark-only -s
 """
 
+import json
+from pathlib import Path
+from typing import Any, Dict
+
 import pytest
 
 from repro.core.rng import RandomStreams
@@ -18,6 +22,23 @@ from repro.core.rng import RandomStreams
 # across benchmarks inside the library.
 SAMPLES = 200
 N_REQUESTS = 12_000
+
+# Machine-readable results, grouped per artifact file: each group lands
+# in ``BENCH_<group>.json`` at the repo root when the session ends, so CI
+# (and perf bisects) can diff runs without scraping terminal tables.
+_RECORDS: Dict[str, Dict[str, Dict[str, Any]]] = {}
+
+
+def record_bench(group: str, name: str, **fields: Any) -> None:
+    """Attach one benchmark's numbers to the ``BENCH_<group>.json`` artifact."""
+    _RECORDS.setdefault(group, {})[name] = fields
+
+
+def pytest_sessionfinish(session, exitstatus):
+    root = Path(__file__).resolve().parent.parent
+    for group, entries in _RECORDS.items():
+        path = root / f"BENCH_{group}.json"
+        path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -28,3 +49,8 @@ def streams():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark clock."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def mean_seconds(benchmark) -> float:
+    """The mean wall-clock of a finished benchmark, for record_bench."""
+    return float(benchmark.stats.stats.mean)

@@ -1,8 +1,14 @@
 """Benchmark: regenerate Figure 4 (normalized throughput & p99, all
 functions) and print it next to the paper's reported ranges."""
 
-from conftest import N_REQUESTS, SAMPLES, run_once
+import os
+import time
 
+from conftest import N_REQUESTS, SAMPLES, mean_seconds, record_bench, run_once
+
+from repro.core import instrument
+from repro.core.cache import ResultCache, configure
+from repro.core.rng import RandomStreams
 from repro.experiments import format_fig4, run_fig4
 
 PAPER_NOTES = """
@@ -22,11 +28,59 @@ paper Fig. 4 anchors:
 
 
 def test_fig4(benchmark, streams):
+    configure(ResultCache())
+    instrument.reset()
     rows = run_once(benchmark, run_fig4, samples=SAMPLES,
                     n_requests=N_REQUESTS, streams=streams)
+    record_bench("fig4", "fig4_full",
+                 seconds_mean=mean_seconds(benchmark), rows=len(rows),
+                 probes=instrument.value(instrument.PROBES))
     print()
     print(format_fig4(rows))
     print(PAPER_NOTES)
     ratios = [r.throughput_ratio for r in rows]
     assert 0.08 <= min(ratios) <= 0.25
     assert 2.3 <= max(ratios) <= 3.8
+
+
+# A cheap subset for the parallel harness itself: 2 functions x 2
+# platforms = 4 independent work units.
+SMOKE_KEYS = ("udp:64", "dpdk:64")
+SMOKE_SAMPLES = 40
+SMOKE_REQUESTS = 2_000
+
+
+def test_fig4_parallel_speedup(benchmark):
+    """--jobs must never change the rows, and must help on real cores."""
+
+    def compute(jobs):
+        configure(ResultCache())  # cold cache: measure simulation, not lookups
+        return run_fig4(keys=SMOKE_KEYS, samples=SMOKE_SAMPLES,
+                        n_requests=SMOKE_REQUESTS,
+                        streams=RandomStreams(7), jobs=jobs)
+
+    serial_start = time.perf_counter()
+    serial_rows = compute(1)
+    serial_seconds = time.perf_counter() - serial_start
+
+    parallel_rows = benchmark.pedantic(compute, args=(4,), rounds=1,
+                                       iterations=1)
+    parallel_seconds = mean_seconds(benchmark)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    cores = os.cpu_count() or 1
+    record_bench("fig4", "parallel_speedup", jobs=4, cores=cores,
+                 serial_seconds=serial_seconds,
+                 parallel_seconds=parallel_seconds, speedup=speedup)
+
+    # Identity holds on any machine, regardless of core count.
+    assert len(parallel_rows) == len(serial_rows)
+    for a, b in zip(serial_rows, parallel_rows):
+        assert a.key == b.key
+        assert a.host.throughput_rps == b.host.throughput_rps
+        assert a.snic.throughput_rps == b.snic.throughput_rps
+        assert a.host.metrics.latency_p99 == b.host.metrics.latency_p99
+        assert a.snic.metrics.latency_p99 == b.snic.metrics.latency_p99
+    # The speedup claim only makes sense with cores to spread across;
+    # single-core CI runners pay pool overhead instead.
+    if cores >= 4:
+        assert speedup >= 1.5, f"expected >=1.5x on {cores} cores, got {speedup:.2f}x"

@@ -6,6 +6,7 @@ slower.
 """
 
 import numpy as np
+from conftest import mean_seconds, record_bench
 
 from repro.core import Resource, Simulator
 from repro.core.queueing import simulate_gg1
@@ -29,9 +30,13 @@ def test_event_kernel_throughput(benchmark):
         for _ in range(2000):
             sim.process(job())
         sim.run()
-        return sim.now
+        return sim._sequence  # events scheduled == events processed
 
-    benchmark(run)
+    events = benchmark(run)
+    seconds = mean_seconds(benchmark)
+    record_bench("kernel", "event_kernel", seconds_mean=seconds,
+                 events=int(events),
+                 events_per_sec=events / seconds if seconds else None)
 
 
 def test_lindley_fast_path(benchmark):
@@ -45,6 +50,8 @@ def test_lindley_fast_path(benchmark):
         )
 
     benchmark(run)
+    record_bench("kernel", "lindley_fast_path",
+                 seconds_mean=mean_seconds(benchmark), requests=20_000)
 
 
 def test_dfa_scan_rate(benchmark):

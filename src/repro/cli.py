@@ -23,6 +23,8 @@ from typing import List, Optional
 from .analysis.report import generate_report
 from .analysis.tables import format_all_tables
 from .analysis.tco import format_comparison
+from .core import instrument
+from .core.cache import ResultCache, configure
 from .core.rng import RandomStreams
 from .experiments import (
     format_fig4,
@@ -57,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--requests", type=int, default=12_000,
                         help="requests simulated per rate probe")
     parser.add_argument("--seed", type=int, default=2023, help="root RNG seed")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent measurements "
+                             "(0 = all cores; output is identical at any N)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist measured results on disk and reuse "
+                             "them across invocations")
     parser.add_argument("--csv", default=None, metavar="FILE",
                         help="also write the result as CSV (fig4/fig5/fig6/table5)")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -75,8 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# Subcommands whose output has a CSV writer; everything else rejects --csv.
+CSV_COMMANDS = frozenset({"fig4", "fig5", "fig6", "table5"})
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.csv and args.command not in CSV_COMMANDS:
+        parser.error(
+            f"--csv is not supported by '{args.command}' "
+            f"(supported: {', '.join(sorted(CSV_COMMANDS))})"
+        )
+    instrument.reset()
+    configure(ResultCache(cache_dir=args.cache_dir))
     streams = RandomStreams(args.seed)
     started = time.time()
 
@@ -84,7 +104,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.plots import fig4_chart
 
         rows = run_fig4(samples=args.samples, n_requests=args.requests,
-                        streams=streams)
+                        streams=streams, jobs=args.jobs)
         print(format_fig4(rows))
         print()
         print(fig4_chart(rows))
@@ -97,7 +117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.plots import fig5_chart
 
         figure = run_fig5(samples=args.samples, n_requests=args.requests,
-                          streams=streams)
+                          streams=streams, jobs=args.jobs)
         print(format_fig5(figure))
         for ruleset, curves in figure.items():
             print(f"\n[{ruleset}]")
@@ -112,7 +132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         rows = rows_from_fig4(run_fig4(samples=args.samples,
                                        n_requests=args.requests,
-                                       streams=streams))
+                                       streams=streams, jobs=args.jobs))
         print(format_fig6(rows))
         print()
         print(fig6_chart(rows))
@@ -138,8 +158,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 write_table5_csv(handle, result.comparisons)
     elif args.command == "observations":
         fig4_rows = run_fig4(samples=args.samples, n_requests=args.requests,
-                             streams=streams)
-        fig5_curves = run_fig5(samples=150, n_requests=8000, streams=streams)
+                             streams=streams, jobs=args.jobs)
+        fig5_curves = run_fig5(samples=150, n_requests=8000, streams=streams,
+                               jobs=args.jobs)
         fig6_rows = rows_from_fig4(fig4_rows)
         verdicts = [
             observation_1(fig4_rows),
@@ -179,10 +200,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print(format_faults(run_faults_study(
             samples=args.samples, n_requests=args.requests, streams=streams,
-            smoke=args.smoke)))
+            smoke=args.smoke, jobs=args.jobs)))
     elif args.command == "report":
         text = generate_report(samples=args.samples, n_requests=args.requests,
-                               streams=streams)
+                               streams=streams, jobs=args.jobs)
         if args.output:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")
@@ -190,7 +211,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(text)
 
-    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
+    print(
+        f"[{time.time() - started:.1f}s | "
+        f"probes {instrument.value(instrument.PROBES)} | "
+        f"cache {instrument.value(instrument.CACHE_HITS)} hit / "
+        f"{instrument.value(instrument.CACHE_MISSES)} miss]",
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -1,13 +1,25 @@
 """Simulation kernel, queueing resources, and measurement methodology."""
 
+from .cache import CODE_VERSION, ResultCache, cache_key
 from .closedloop import ClosedLoopResult, simulate_closed_loop
 from .engine import Event, Process, Simulator, SimulationError, Timeout
-from .metrics import LatencyRecorder, P2Quantile, RunMetrics, ThroughputMeter
+from .executor import ParallelExecutor, WorkUnit
+from .metrics import (
+    LatencyRecorder,
+    LatencySummary,
+    P2Quantile,
+    RunMetrics,
+    ThroughputMeter,
+    summarize_samples,
+)
 from .resources import Resource, Store
 from .rng import RandomStreams
 from .sweep import SweepResult, find_max_sustainable_rate, rate_response_curve
 
 __all__ = [
+    "CODE_VERSION",
+    "ResultCache",
+    "cache_key",
     "ClosedLoopResult",
     "simulate_closed_loop",
     "Event",
@@ -15,14 +27,18 @@ __all__ = [
     "Simulator",
     "SimulationError",
     "Timeout",
+    "ParallelExecutor",
+    "WorkUnit",
     "Resource",
     "Store",
     "RandomStreams",
     "LatencyRecorder",
+    "LatencySummary",
     "ThroughputMeter",
     "P2Quantile",
     "RunMetrics",
     "SweepResult",
+    "summarize_samples",
     "find_max_sustainable_rate",
     "rate_response_curve",
 ]

@@ -1,0 +1,163 @@
+"""Content-addressed result cache for experiment measurements.
+
+Operating-point searches dominate every artifact's wall-clock: each
+``(function, platform)`` pair costs a 13-probe rate ladder, and the CLI
+verbs historically re-ran identical measurements (``fig6`` re-runs all of
+``fig4``; ``report`` used to measure Table 5's pairs from scratch).  The
+measurements are pure functions of ``(profile_key, platform, fidelity,
+seed)`` — every RNG substream is re-derived from the root seed and the
+probe's name — so they are safe to memoize.
+
+Keys are content hashes over a canonical tuple of primitives that always
+includes :data:`CODE_VERSION`; bumping the version invalidates every
+prior entry, which is how semantic changes to the measurement pipeline
+are kept out of stale on-disk caches.  The cache has an in-memory layer
+(always available) and an optional on-disk layer (``--cache-dir`` /
+:class:`ResultCache` ``cache_dir=``) that persists results across CLI
+invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from . import instrument
+
+# Bump whenever measurement semantics change (models, stream naming,
+# ladder shape, metrics definitions): old cached results become garbage.
+CODE_VERSION = "2026.08.0"
+
+_PRIMITIVES = (str, int, float, bool, bytes, type(None))
+
+
+def _canonical(part: Any) -> Any:
+    """Normalize a key part to a stable, hashable representation."""
+    if isinstance(part, _PRIMITIVES):
+        return part
+    if isinstance(part, (tuple, list)):
+        return tuple(_canonical(p) for p in part)
+    if isinstance(part, (set, frozenset)):
+        return tuple(sorted(repr(_canonical(p)) for p in part))
+    if isinstance(part, dict):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in part.items()))
+    raise TypeError(f"unhashable cache key part: {part!r} ({type(part).__name__})")
+
+
+def cache_key(*parts: Any) -> str:
+    """A stable content hash of ``parts`` (always salted by CODE_VERSION)."""
+    payload = repr((CODE_VERSION,) + tuple(_canonical(p) for p in parts))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "disk_hits": self.disk_hits}
+
+
+@dataclass
+class ResultCache:
+    """Two-layer (memory + optional disk) content-addressed store."""
+
+    cache_dir: Optional[str] = None
+    _memory: Dict[str, Any] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir:
+            os.makedirs(self.cache_dir, exist_ok=True)
+
+    # -- lookup / store -----------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(found, value)``; counts the lookup in stats."""
+        if key in self._memory:
+            self.stats.hits += 1
+            instrument.increment(instrument.CACHE_HITS)
+            return True, self._memory[key]
+        if self.cache_dir:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as handle:
+                        value = pickle.load(handle)
+                except (OSError, pickle.PickleError, EOFError, ValueError,
+                        AttributeError, ImportError, IndexError):
+                    pass  # corrupt/partial/stale entry: treat as a miss
+                else:
+                    self._memory[key] = value
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    instrument.increment(instrument.CACHE_HITS)
+                    return True, value
+        self.stats.misses += 1
+        instrument.increment(instrument.CACHE_MISSES)
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        if self.cache_dir:
+            path = self._path(key)
+            # Atomic publish: parallel workers may race on the same key,
+            # and a crashed writer must not leave a truncated pickle.
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except (OSError, pickle.PickleError, AttributeError, TypeError):
+                # Unpicklable or disk trouble: the memory layer still has
+                # the value; just don't leave a partial file behind.
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        found, value = self.get(key)
+        if found:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+
+# The process-wide default cache.  In-memory only unless the CLI (or a
+# test) installs one with a disk layer via :func:`configure`.
+_GLOBAL = ResultCache()
+
+
+def get_cache() -> ResultCache:
+    return _GLOBAL
+
+
+def configure(cache: ResultCache) -> ResultCache:
+    """Install ``cache`` as the process-wide default; returns it."""
+    global _GLOBAL
+    _GLOBAL = cache
+    return cache

@@ -14,7 +14,6 @@ runs with the same seeds produce identical traces.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 
@@ -71,13 +70,24 @@ class Event:
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self._state == Event.FIRED:
             # Fire immediately but asynchronously, preserving ordering.
-            holder = Event(self.sim)
-            holder._value = self._value
-            holder.callbacks.append(callback)
-            holder._state = Event.TRIGGERED
-            self.sim._schedule_event(0.0, holder)
+            self.sim._schedule_event(0.0, _DeferredCallback(self, callback))
         else:
             self.callbacks.append(callback)
+
+
+class _DeferredCallback:
+    """A queue entry that re-delivers an already-fired event to one late
+    callback — cheaper than allocating a full holder Event, and the
+    callback sees the original event (same ``value``)."""
+
+    __slots__ = ("event", "callback")
+
+    def __init__(self, event: Event, callback: Callable[[Event], None]):
+        self.event = event
+        self.callback = callback
+
+    def _fire(self) -> None:
+        self.callback(self.event)
 
 
 class Timeout(Event):
@@ -88,9 +98,13 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self._state = Event.TRIGGERED
+        # Fast path: timeouts are the most-allocated event by far, and
+        # they are born TRIGGERED — initialize the slots directly instead
+        # of paying for Event.__init__ plus a second state assignment.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._state = Event.TRIGGERED
         sim._schedule_event(delay, self)
 
 
@@ -137,16 +151,21 @@ class Simulator:
 
     def __init__(self):
         self._now = 0.0
-        self._queue: List[Tuple[float, int, Event]] = []
-        self._sequence = itertools.count()
+        # Entries are (time, seq, firable): anything with a ``_fire``
+        # method (Events, deferred callbacks).  ``seq`` is a plain int —
+        # cheaper to bump than an itertools.count and it keeps same-time
+        # entries in FIFO order without ever comparing the payload.
+        self._queue: List[Tuple[float, int, Any]] = []
+        self._sequence = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
 
-    def _schedule_event(self, delay: float, event: Event) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), event))
+    def _schedule_event(self, delay: float, event: Any) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
 
     # -- public API ---------------------------------------------------------
 
@@ -175,12 +194,17 @@ class Simulator:
         """Run until the queue drains or simulated time reaches ``until``."""
         if until is not None and until < self._now:
             raise SimulationError(f"run(until={until}) is in the past")
-        while self._queue:
-            time, _, _ = self._queue[0]
-            if until is not None and time > until:
+        # Inlined step loop: one heappop and one _fire per event, without
+        # the peek/step call overhead — this is the kernel's hot loop.
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self._now = until
                 return self._now
-            self.step()
+            time, _, event = pop(queue)
+            self._now = time
+            event._fire()
         if until is not None:
             self._now = until
         return self._now

@@ -1,0 +1,157 @@
+"""Deterministic parallel execution of independent experiment work units.
+
+The experiment stack is embarrassingly parallel at well-defined seams:
+operating-point measurements (one per ``(function, platform)`` pair),
+rate-ladder points, and fault scenarios are mutually independent.  This
+module fans such units across a :class:`concurrent.futures.
+ProcessPoolExecutor` while guaranteeing that results are *bit-identical*
+to a serial run.
+
+The determinism contract
+------------------------
+
+A :class:`WorkUnit` must be a **pure function of its arguments**: it
+receives an explicit root seed and re-derives every RNG substream from
+``(seed, name)`` via :class:`~repro.core.rng.RandomStreams` (substreams
+are keyed by name, never by call order across units).  Under that
+contract the execution schedule cannot influence any draw, so
+``jobs=N`` and ``jobs=1`` produce element-wise identical results, and
+the serial path simply invokes the same unit functions in-process.
+
+Worker-side instrumentation counters (rate probes, cache hits) are
+snapshotted around each unit and the deltas are merged back into the
+parent, so CLI footers report identical totals at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from . import instrument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cache import ResultCache
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent, pure, picklable piece of work.
+
+    ``name`` identifies the unit in diagnostics and should be unique
+    within a batch; by convention it matches the RNG-substream namespace
+    the unit derives its randomness from.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+def _invoke(unit: WorkUnit) -> Tuple[Any, Dict[str, int]]:
+    """Worker entry point: run a unit and capture its counter delta."""
+    before = instrument.snapshot()
+    result = unit.run()
+    return result, instrument.delta_since(before)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/1 serial, 0 = all cores."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+class ParallelExecutor:
+    """Runs batches of :class:`WorkUnit` with a fixed worker budget.
+
+    ``jobs=1`` (the default) executes in-process, in order — the output
+    is the reference a parallel run must reproduce.  ``jobs>1`` fans the
+    batch over worker processes; results always come back in submission
+    order.  Batches whose units cannot be pickled (e.g. closures handed
+    to :func:`~repro.core.sweep.rate_response_curve`) fall back to the
+    serial path instead of failing.
+    """
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = resolve_jobs(jobs)
+        self.units_run = 0
+        self.fallbacks = 0
+
+    def map(self, units: Sequence[WorkUnit]) -> List[Any]:
+        units = list(units)
+        self.units_run += len(units)
+        if self.jobs <= 1 or len(units) <= 1:
+            return [unit.run() for unit in units]
+        if not self._picklable(units):
+            self.fallbacks += 1
+            return [unit.run() for unit in units]
+        workers = min(self.jobs, len(units))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_invoke, unit) for unit in units]
+            results: List[Any] = []
+            for future in futures:
+                result, delta = future.result()
+                instrument.merge(delta)
+                results.append(result)
+        return results
+
+    @staticmethod
+    def _picklable(units: Sequence[WorkUnit]) -> bool:
+        try:
+            pickle.dumps(units)
+        except Exception:  # noqa: BLE001 — any pickling failure means serial
+            return False
+        return True
+
+
+def map_cached(
+    executor: ParallelExecutor,
+    units: Sequence[WorkUnit],
+    keys: Sequence[str],
+    store: Optional["ResultCache"] = None,
+) -> List[Any]:
+    """Run a batch through the content-addressed cache.
+
+    Each unit is paired with its cache key: hits are served from the
+    cache in the parent (one lookup each, never submitted), misses are
+    fanned out through ``executor`` and the computed results are stored
+    back — so a later batch (or CLI verb sharing a ``--cache-dir``)
+    reuses them.  Results come back in unit order either way.
+    """
+    if len(units) != len(keys):
+        raise ValueError("units and keys must have equal length")
+    if store is None:
+        from .cache import get_cache
+
+        store = get_cache()
+    results: List[Any] = [None] * len(units)
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        found, value = store.get(key)
+        if found:
+            results[index] = value
+        else:
+            pending.append(index)
+    for index, value in zip(pending, executor.map([units[i] for i in pending])):
+        store.put(keys[index], value)
+        results[index] = value
+    return results

@@ -1,0 +1,51 @@
+"""Process-local instrumentation counters.
+
+The experiment stack counts cheap, coarse things — rate probes run,
+cache hits — so the CLI can report what a command actually did.  The
+counters are plain process-local integers; the parallel executor
+snapshots them around each work unit in the worker process and ships the
+delta back, so parent-side totals are identical whether a study ran with
+``--jobs 1`` or ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+PROBES = "probes"
+CACHE_HITS = "cache_hits"
+CACHE_MISSES = "cache_misses"
+
+_counters: Dict[str, int] = {}
+
+
+def increment(name: str, amount: int = 1) -> None:
+    _counters[name] = _counters.get(name, 0) + amount
+
+
+def value(name: str) -> int:
+    return _counters.get(name, 0)
+
+
+def snapshot() -> Dict[str, int]:
+    """A copy of every counter (used to compute per-unit deltas)."""
+    return dict(_counters)
+
+
+def delta_since(before: Dict[str, int]) -> Dict[str, int]:
+    """Counter increments since ``before`` (a prior :func:`snapshot`)."""
+    return {
+        name: count - before.get(name, 0)
+        for name, count in _counters.items()
+        if count != before.get(name, 0)
+    }
+
+
+def merge(delta: Dict[str, int]) -> None:
+    """Fold a worker-side delta into this process's counters."""
+    for name, amount in delta.items():
+        increment(name, amount)
+
+
+def reset() -> None:
+    _counters.clear()

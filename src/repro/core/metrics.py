@@ -11,9 +11,42 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p99/mean/max of one latency sample set, computed in one pass."""
+
+    count: int
+    p50: float
+    p99: float
+    mean: float
+    max: float
+
+
+_EMPTY_SUMMARY = LatencySummary(
+    count=0, p50=float("inf"), p99=float("inf"), mean=float("inf"),
+    max=float("inf"),
+)
+
+
+def summarize_samples(samples: np.ndarray) -> LatencySummary:
+    """Summary statistics with a single array conversion and percentile
+    call — the per-probe alternative to four separate reductions."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        return _EMPTY_SUMMARY
+    p50, p99 = np.percentile(data, (50.0, 99.0))
+    return LatencySummary(
+        count=int(data.size),
+        p50=float(p50),
+        p99=float(p99),
+        mean=float(np.mean(data)),
+        max=float(np.max(data)),
+    )
 
 
 class LatencyRecorder:
@@ -61,6 +94,11 @@ class LatencyRecorder:
         if not self._samples:
             return float("inf")
         return float(np.max(self._samples))
+
+    def summary(self) -> LatencySummary:
+        """All summary statistics from one conversion of the sample list
+        (``percentile``/``mean``/``max`` each convert separately)."""
+        return summarize_samples(self._samples)
 
 
 class ThroughputMeter:
@@ -194,7 +232,9 @@ class RunMetrics:
     latency_p99: float
     latency_mean: float
     dropped: int = 0
-    extra: Dict[str, float] = field(default_factory=dict)
+    # Mostly numeric side-channels; failed probes also record the error
+    # type/message strings here (see core.sweep._failed_probe_metrics).
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def sustained(self) -> bool:

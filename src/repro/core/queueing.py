@@ -22,7 +22,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from .metrics import RunMetrics
+from .metrics import RunMetrics, summarize_samples
 
 ServiceSampler = Callable[[np.random.Generator, int], np.ndarray]
 
@@ -254,14 +254,15 @@ def outcome_to_metrics(
     effective_rate = served_rate * cores
     if overloaded and mean_service > 0:
         effective_rate = min(effective_rate, cores / mean_service)
+    latency = summarize_samples(kept)
     return RunMetrics(
         offered_rate=offered_rate,
         duration=duration,
         completed=n,
         completed_rate=effective_rate,
         goodput_gbps=effective_rate * bytes_per_request * 8 / 1e9,
-        latency_p50=float(np.percentile(kept, 50)),
-        latency_p99=float(np.percentile(kept, 99)),
-        latency_mean=float(np.mean(kept)),
+        latency_p50=latency.p50,
+        latency_p99=latency.p99,
+        latency_mean=latency.mean,
         dropped=outcome.dropped,
     )

@@ -11,9 +11,12 @@ returned.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from .metrics import RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import ParallelExecutor
 
 RunFn = Callable[[float], RunMetrics]
 
@@ -46,7 +49,11 @@ class SweepResult:
 
 
 def _failed_probe_metrics(rate: float, error: Exception) -> RunMetrics:
-    """A well-defined sentinel for a probe whose ``run_at`` raised."""
+    """A well-defined sentinel for a probe whose ``run_at`` raised.
+
+    The exception is recorded in ``extra`` so failed probes remain
+    diagnosable from ``SweepResult.probes`` after the search returns.
+    """
     return RunMetrics(
         offered_rate=rate,
         duration=0.0,
@@ -57,7 +64,11 @@ def _failed_probe_metrics(rate: float, error: Exception) -> RunMetrics:
         latency_p99=float("inf"),
         latency_mean=float("inf"),
         dropped=0,
-        extra={"probe_failed": 1.0},
+        extra={
+            "probe_failed": 1.0,
+            "error_type": type(error).__name__,
+            "error_message": str(error)[:500],
+        },
     )
 
 
@@ -146,6 +157,22 @@ def find_max_sustainable_rate(
 def rate_response_curve(
     run_at: RunFn,
     rates: List[float],
+    executor: Optional["ParallelExecutor"] = None,
 ) -> Dict[float, RunMetrics]:
-    """Measure a fixed ladder of offered rates (used for Fig. 5 style plots)."""
-    return {rate: run_at(rate) for rate in rates}
+    """Measure a fixed ladder of offered rates (used for Fig. 5 style plots).
+
+    The ladder points are mutually independent, so an optional
+    :class:`~repro.core.executor.ParallelExecutor` fans them across
+    worker processes.  ``run_at`` must then be a pure, picklable
+    function of the rate (module-level, deriving its own RNG streams);
+    closures that cannot be pickled are detected and run serially.
+    """
+    if executor is None:
+        return {rate: run_at(rate) for rate in rates}
+    from .executor import WorkUnit  # local import: avoid cycle at import time
+
+    units = [
+        WorkUnit(name=f"rate:{rate:.6g}", fn=run_at, args=(rate,))
+        for rate in rates
+    ]
+    return dict(zip(rates, executor.map(units)))

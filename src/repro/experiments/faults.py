@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.cache import cache_key, get_cache
+from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from ..faults.models import SnicHealth
 from ..faults.retry import RetryPolicy, simulate_retries
@@ -50,7 +52,11 @@ from ..offload.loadbalancer import (
     simulate_failover,
 )
 from .fig4 import snic_platform_for
-from .measurement import OperatingPoint, measure_operating_point
+from .measurement import (
+    OperatingPoint,
+    measure_operating_point_cached,
+    operating_point_cache_key,
+)
 from .profiles import get_profile
 
 # Fig. 4 spread: two accelerator-backed functions, a kernel-stack KV
@@ -328,6 +334,65 @@ def _run_link_scenario(
 # ---------------------------------------------------------------------------
 
 
+def compute_function_report(
+    key: str,
+    scenarios: Sequence[str],
+    samples: int,
+    n_requests: int,
+    n_packets: int,
+    seed: int,
+) -> FunctionFaultReport:
+    """Picklable work unit: one function's full fault report.
+
+    Rebuilds a fresh ``RandomStreams(seed)``; the operating points and
+    every ``faults:{key}:...`` substream depend only on ``(seed, name)``,
+    so per-function fan-out reproduces the serial study exactly.  The
+    fault-timeline substreams (``fault:{scenario}``) restart per function
+    unit, keeping each function's scenario draws self-contained.
+    """
+    streams = RandomStreams(seed)
+    profile = get_profile(key, samples=samples)
+    platform = snic_platform_for(profile)
+    host = measure_operating_point_cached(key, "host", seed, samples,
+                                          n_requests)
+    snic = measure_operating_point_cached(key, platform, seed, samples,
+                                          n_requests)
+    config = _balancer_config(host, snic)
+    rate = RATE_FRACTION * snic.capacity_rps
+    snic_eff = config.snic_service_s / config.snic_cores
+    deadline_s = 500.0 * snic_eff
+
+    rng = streams.stream(f"faults:{key}:baseline")
+    baseline = simulate_failover(config, rate, n_packets, rng,
+                                 snic_health=None, deadline_s=deadline_s)
+    report = FunctionFaultReport(
+        function=key,
+        snic_platform=platform,
+        host=host,
+        snic=snic,
+        offered_rate_rps=rate,
+        deadline_s=deadline_s,
+    )
+    report.scenarios.append(
+        _summarize(key, "no-fault", baseline,
+                   baseline.outcome.p99_latency_s, [], float("nan"))
+    )
+    base_p99 = baseline.outcome.p99_latency_s
+    for scenario in scenarios:
+        if scenario == "link-burst-loss":
+            report.scenarios.append(
+                _run_link_scenario(key, config, rate, n_packets,
+                                   deadline_s, base_p99, streams)
+            )
+        else:
+            report.scenarios.append(
+                _run_balancer_scenario(key, scenario, config, rate,
+                                       n_packets, deadline_s, base_p99,
+                                       streams)
+            )
+    return report
+
+
 def run_faults_study(
     functions: Sequence[str] = FAULT_FUNCTIONS,
     samples: int = 200,
@@ -336,11 +401,14 @@ def run_faults_study(
     streams: Optional[RandomStreams] = None,
     scenarios: Sequence[str] = ALL_SCENARIOS,
     smoke: bool = False,
+    jobs: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> FaultStudyResult:
     """Measure Fig. 4 operating points, then replay them under faults.
 
     ``smoke`` shrinks the study (two functions, small samples) so CI can
-    exercise the whole path in seconds.
+    exercise the whole path in seconds.  Functions are independent work
+    units, so ``jobs=N`` parallelizes across them deterministically.
     """
     if smoke:
         functions = SMOKE_FUNCTIONS
@@ -348,47 +416,40 @@ def run_faults_study(
         n_requests = min(n_requests, 2_500)
         n_packets = min(n_packets, 8_000)
     streams = streams or RandomStreams(2023)
-    reports: List[FunctionFaultReport] = []
-    for key in functions:
-        profile = get_profile(key, samples=samples)
-        platform = snic_platform_for(profile)
-        host = measure_operating_point(profile, "host", streams, n_requests)
-        snic = measure_operating_point(profile, platform, streams, n_requests)
-        config = _balancer_config(host, snic)
-        rate = RATE_FRACTION * snic.capacity_rps
-        snic_eff = config.snic_service_s / config.snic_cores
-        deadline_s = 500.0 * snic_eff
+    seed = streams.root_seed
+    executor = executor or ParallelExecutor(jobs)
 
-        rng = streams.stream(f"faults:{key}:baseline")
-        baseline = simulate_failover(config, rate, n_packets, rng,
-                                     snic_health=None, deadline_s=deadline_s)
-        report = FunctionFaultReport(
-            function=key,
-            snic_platform=platform,
-            host=host,
-            snic=snic,
-            offered_rate_rps=rate,
-            deadline_s=deadline_s,
+    units = [
+        WorkUnit(
+            name=f"faults:{key}",
+            fn=compute_function_report,
+            args=(key, tuple(scenarios), samples, n_requests, n_packets, seed),
         )
-        report.scenarios.append(
-            _summarize(key, "no-fault", baseline,
-                       baseline.outcome.p99_latency_s, [], float("nan"))
+        for key in functions
+    ]
+    keys = [
+        cache_key("faults-report", key, tuple(scenarios), samples,
+                  n_requests, n_packets, seed)
+        for key in functions
+    ]
+    reports = map_cached(executor, units, keys)
+
+    # Back-fill the operating points measured inside worker processes so
+    # later verbs in this process (fig4 at the same fidelity, table5)
+    # reuse them without re-simulating.
+    store = get_cache()
+    for report in reports:
+        store.put(
+            operating_point_cache_key(report.function, "host", seed, samples,
+                                      n_requests),
+            report.host,
         )
-        base_p99 = baseline.outcome.p99_latency_s
-        for scenario in scenarios:
-            if scenario == "link-burst-loss":
-                report.scenarios.append(
-                    _run_link_scenario(key, config, rate, n_packets,
-                                       deadline_s, base_p99, streams)
-                )
-            else:
-                report.scenarios.append(
-                    _run_balancer_scenario(key, scenario, config, rate,
-                                           n_packets, deadline_s, base_p99,
-                                           streams)
-                )
-        reports.append(report)
-    return FaultStudyResult(reports=reports)
+        store.put(
+            operating_point_cache_key(report.function, report.snic_platform,
+                                      seed, samples, n_requests),
+            report.snic,
+        )
+    return FaultStudyResult(reports=list(reports))
 
 
 def format_faults(result: FaultStudyResult) -> str:

@@ -12,8 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
-from .measurement import ACCEL_PLATFORM, OperatingPoint, measure_operating_point
+from .measurement import (
+    ACCEL_PLATFORM,
+    OperatingPoint,
+    compute_operating_point,
+    operating_point_cache_key,
+)
 from .profiles import ALL_PROFILE_KEYS, FunctionProfile, get_profile
 
 # Display order mirrors the paper's x-axis: microbenchmarks, software-only
@@ -86,16 +92,40 @@ def run_fig4(
     samples: int = 300,
     n_requests: int = 20_000,
     streams: Optional[RandomStreams] = None,
+    jobs: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> List[Fig4Row]:
-    """Measure every function on both platforms; returns the figure rows."""
+    """Measure every function on both platforms; returns the figure rows.
+
+    The ~2x29 operating-point measurements are mutually independent work
+    units (each re-derives its RNG substreams from ``(seed, name)``), so
+    ``jobs=N`` fans them across processes with element-wise identical
+    output to ``jobs=1``.  Results are memoized through the global
+    result cache, keyed on (profile, platform, fidelity, seed).
+    """
     streams = streams or RandomStreams()
+    seed = streams.root_seed
+    executor = executor or ParallelExecutor(jobs)
+
+    pairs = [
+        (key, get_profile(key, samples=samples))
+        for key in keys
+    ]
+    units: List[WorkUnit] = []
+    cache_keys: List[str] = []
+    for key, profile in pairs:
+        for platform in ("host", snic_platform_for(profile)):
+            args = (key, platform, seed, samples, n_requests)
+            units.append(
+                WorkUnit(name=f"fig4:{key}:{platform}",
+                         fn=compute_operating_point, args=args)
+            )
+            cache_keys.append(operating_point_cache_key(*args))
+    points = map_cached(executor, units, cache_keys)
+
     rows: List[Fig4Row] = []
-    for key in keys:
-        profile = get_profile(key, samples=samples)
-        host = measure_operating_point(profile, "host", streams, n_requests)
-        snic = measure_operating_point(
-            profile, snic_platform_for(profile), streams, n_requests
-        )
+    for index, (key, profile) in enumerate(pairs):
+        host, snic = points[2 * index], points[2 * index + 1]
         rows.append(
             Fig4Row(
                 key=key,

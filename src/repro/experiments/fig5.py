@@ -14,6 +14,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.cache import cache_key
+from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from ..core.units import gbps_to_bytes_per_second
 from .measurement import ACCEL_PLATFORM, run_fixed_rate
@@ -84,32 +86,87 @@ def measure_series(
     return series
 
 
+def compute_series(
+    ruleset: str,
+    platform: str,
+    label: str,
+    cores: Optional[int],
+    rates_gbps: Sequence[float],
+    samples: int,
+    n_requests: int,
+    seed: int,
+) -> Fig5Series:
+    """Picklable work unit: one Fig. 5 curve from primitives.
+
+    Rebuilds the profile and a fresh ``RandomStreams(seed)``; every rate
+    point derives its substream from ``(seed, key:platform:rate)``, so
+    the curve is independent of which process — or position in the batch
+    — computes it.
+    """
+    profile = get_profile(f"rem:{ruleset}@mtu", samples=samples)
+    return measure_series(
+        profile, platform, label, tuple(rates_gbps), RandomStreams(seed),
+        cores=cores, n_requests=n_requests,
+    )
+
+
+def _series_cache_key(
+    ruleset: str,
+    platform: str,
+    cores: Optional[int],
+    rates_gbps: Sequence[float],
+    samples: int,
+    n_requests: int,
+    seed: int,
+) -> str:
+    return cache_key("fig5-series", ruleset, platform, cores,
+                     tuple(float(r) for r in rates_gbps), samples,
+                     n_requests, seed)
+
+
 def run_fig5(
     rulesets: Sequence[str] = ("file_image", "file_executable"),
     rates_gbps: Sequence[float] = DEFAULT_RATES_GBPS,
     samples: int = 200,
     n_requests: int = 12_000,
     streams: Optional[RandomStreams] = None,
+    jobs: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, List[Fig5Series]]:
-    """All Fig. 5 curves, keyed by rule set."""
+    """All Fig. 5 curves, keyed by rule set.
+
+    Each (ruleset, platform, cores) curve is an independent work unit;
+    ``jobs=N`` fans them out with output identical to the serial run,
+    and whole curves are memoized in the result cache.
+    """
     streams = streams or RandomStreams()
-    figure: Dict[str, List[Fig5Series]] = {}
+    seed = streams.root_seed
+    executor = executor or ParallelExecutor(jobs)
+
+    specs = []  # (ruleset, platform, label, cores)
     for ruleset in rulesets:
-        profile = get_profile(f"rem:{ruleset}@mtu", samples=samples)
-        curves = [
-            measure_series(
-                profile, "host", f"host-{cores}c", rates_gbps, streams,
-                cores=cores, n_requests=n_requests,
-            )
-            for cores in HOST_CORE_COUNTS
-        ]
-        curves.append(
-            measure_series(
-                profile, ACCEL_PLATFORM, "snic-accel", rates_gbps, streams,
-                n_requests=n_requests,
-            )
+        for cores in HOST_CORE_COUNTS:
+            specs.append((ruleset, "host", f"host-{cores}c", cores))
+        specs.append((ruleset, ACCEL_PLATFORM, "snic-accel", None))
+    units = [
+        WorkUnit(
+            name=f"fig5:{ruleset}:{label}",
+            fn=compute_series,
+            args=(ruleset, platform, label, cores, tuple(rates_gbps),
+                  samples, n_requests, seed),
         )
-        figure[ruleset] = curves
+        for ruleset, platform, label, cores in specs
+    ]
+    keys = [
+        _series_cache_key(ruleset, platform, cores, rates_gbps, samples,
+                          n_requests, seed)
+        for ruleset, platform, _, cores in specs
+    ]
+    series = map_cached(executor, units, keys)
+
+    figure: Dict[str, List[Fig5Series]] = {ruleset: [] for ruleset in rulesets}
+    for (ruleset, _, _, _), curve in zip(specs, series):
+        figure[ruleset].append(curve)
     return figure
 
 

@@ -31,6 +31,8 @@ from ..calibration import (
     POWER,
     base_rtt_sampler,
 )
+from ..core import instrument
+from ..core.cache import cache_key, get_cache
 from ..core.metrics import RunMetrics
 from ..core.queueing import (
     outcome_to_metrics,
@@ -42,7 +44,7 @@ from ..core.sweep import SweepResult, find_max_sustainable_rate
 from ..core.units import gbps_to_bytes_per_second
 from ..power.energy import EnergyReport
 from ..power.models import ComponentLoad, ServerPowerModel, SnicPowerModel
-from .profiles import FunctionProfile
+from .profiles import FunctionProfile, get_profile
 
 ACCEL_PLATFORM = "snic-accel"
 CPU_PLATFORMS = ("host", "snic-cpu")
@@ -144,6 +146,7 @@ def run_fixed_rate(
     n_requests: int = 20_000,
 ) -> RunMetrics:
     """Offer ``rate`` requests/s and measure (the inner loop of a sweep)."""
+    instrument.increment(instrument.PROBES)
     if platform == ACCEL_PLATFORM:
         return _run_accelerator(profile, rate, streams, n_requests)
     if platform not in CPU_PLATFORMS:
@@ -314,6 +317,83 @@ def measure_operating_point(
         server_power_w=ServerPowerModel().power(load) + extra_w,
         device_power_w=SnicPowerModel().power(load),
     )
+
+
+# ---------------------------------------------------------------------------
+# Pure work units + content-addressed caching
+# ---------------------------------------------------------------------------
+#
+# An operating-point measurement is a pure function of
+# (profile_key, platform, seed, samples, n_requests, slo_p99): every RNG
+# substream it touches is derived from (seed, "{key}:{platform}:{rate}"),
+# names that no other measurement uses, so rebuilding a fresh
+# RandomStreams(seed) inside the unit reproduces exactly the draws the
+# old shared-registry serial loop produced.  That is what makes these
+# functions safe both to fan out across processes and to memoize.
+
+
+def compute_operating_point(
+    profile_key: str,
+    platform: str,
+    seed: int,
+    samples: int,
+    n_requests: int,
+    slo_p99: Optional[float] = None,
+) -> OperatingPoint:
+    """The picklable work unit behind Fig. 4 rows and fault baselines."""
+    profile = get_profile(profile_key, samples=samples)
+    return measure_operating_point(
+        profile, platform, RandomStreams(seed), n_requests, slo_p99=slo_p99
+    )
+
+
+def operating_point_cache_key(
+    profile_key: str,
+    platform: str,
+    seed: int,
+    samples: int,
+    n_requests: int,
+    slo_p99: Optional[float] = None,
+) -> str:
+    """Content hash of everything :func:`compute_operating_point` reads.
+
+    The offered rates probed by the ladder are themselves derived from
+    (profile_key, samples), so they need no separate key component; the
+    cache module salts every key with CODE_VERSION for invalidation.
+    """
+    return cache_key(
+        "operating-point", profile_key, platform, seed, samples, n_requests,
+        slo_p99,
+    )
+
+
+def measure_operating_point_cached(
+    profile_key: str,
+    platform: str,
+    seed: int,
+    samples: int,
+    n_requests: int,
+    slo_p99: Optional[float] = None,
+) -> OperatingPoint:
+    """Memoized operating point for *canonical* profiles.
+
+    Only safe for profiles reachable through ``get_profile`` under the
+    global calibration — experiments that perturb calibration in place
+    (sensitivity, strategy1) must keep calling
+    :func:`measure_operating_point` directly.
+    """
+    store = get_cache()
+    key = operating_point_cache_key(
+        profile_key, platform, seed, samples, n_requests, slo_p99
+    )
+    found, point = store.get(key)
+    if found:
+        return point
+    point = compute_operating_point(
+        profile_key, platform, seed, samples, n_requests, slo_p99
+    )
+    store.put(key, point)
+    return point
 
 
 def component_load(

@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..core.cache import cache_key, get_cache
 from ..core.rng import RandomStreams
 from ..core.units import gbps_to_bytes_per_second
 from ..power.models import ServerPowerModel, SnicPowerModel
@@ -97,9 +98,34 @@ def run_table4(
     n_requests: int = 8_000,
     streams: Optional[RandomStreams] = None,
 ) -> Table4Result:
-    """REM on the hyperscaler trace: host CPU vs SNIC accelerator."""
+    """REM on the hyperscaler trace: host CPU vs SNIC accelerator.
+
+    Default-trace replays are memoized on (fidelity, seed) — the report
+    generator and Table 5 both need this result, and it is a pure
+    function of those inputs (all substreams derive from the root seed).
+    """
     streams = streams or RandomStreams()
-    trace = trace or hyperscaler_trace()
+    if trace is not None:
+        return _compute_table4(trace, samples, n_requests, streams)
+    store = get_cache()
+    key = cache_key("table4", samples, n_requests, streams.root_seed)
+    found, result = store.get(key)
+    if found:
+        return result
+    result = _compute_table4(
+        hyperscaler_trace(), samples, n_requests,
+        RandomStreams(streams.root_seed),
+    )
+    store.put(key, result)
+    return result
+
+
+def _compute_table4(
+    trace: RateTrace,
+    samples: int,
+    n_requests: int,
+    streams: RandomStreams,
+) -> Table4Result:
     profile = get_profile("rem:file_executable@mtu", samples=samples)
     host = _measure_platform(profile, "host", trace, streams, n_requests)
     snic = _measure_platform(profile, ACCEL_PLATFORM, trace, streams, n_requests)

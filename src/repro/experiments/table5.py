@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 from ..analysis.tco import TcoComparison, compare
 from ..core.rng import RandomStreams
 from .fig4 import snic_platform_for
-from .measurement import measure_operating_point
+from .measurement import measure_operating_point_cached
 from .profiles import get_profile
 from .table4 import run_table4
 
@@ -62,10 +62,15 @@ def run_table5(
                 )
             )
             continue
+        # Cached operating points: after a fig4 run at the same fidelity
+        # and seed these are free, which is how `repro report` computes
+        # each (function, platform) pair at most once.
         profile = get_profile(key, samples=samples)
-        host = measure_operating_point(profile, "host", streams, n_requests)
-        snic = measure_operating_point(
-            profile, snic_platform_for(profile), streams, n_requests
+        seed = streams.root_seed
+        host = measure_operating_point_cached(key, "host", seed, samples,
+                                              n_requests)
+        snic = measure_operating_point_cached(
+            key, snic_platform_for(profile), seed, samples, n_requests
         )
         ratio = (
             snic.throughput_rps / host.throughput_rps

@@ -1,0 +1,175 @@
+"""Parallel executor: serial/parallel equivalence and counter merging.
+
+The contract under test is the one DESIGN.md promises: ``--jobs N`` is a
+wall-clock knob, never a results knob.  Every work unit re-derives its
+RNG substreams from ``(seed, name)``, so the same units produce the same
+bytes whether they run in-process or in a worker pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import instrument
+from repro.core.cache import ResultCache, cache_key, configure
+from repro.core.executor import (
+    ParallelExecutor,
+    WorkUnit,
+    map_cached,
+    resolve_jobs,
+)
+from repro.core.rng import RandomStreams
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.measurement import compute_operating_point
+
+# Cheap keys: tiny profiles, fast ladders.  Enough to exercise the pool
+# without making the suite slow.
+CHEAP_KEYS = ("udp:64", "dpdk:64")
+SAMPLES = 20
+N_REQUESTS = 600
+SEED = 7
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test gets an empty in-memory cache and zeroed counters."""
+    configure(ResultCache())
+    instrument.reset()
+    yield
+    configure(ResultCache())
+    instrument.reset()
+
+
+# Module-level so it pickles for the process pool.
+def _square(value):
+    return value * value
+
+
+def _unit_seeded_draw(name, seed):
+    """A unit that derives its randomness the way experiments do."""
+    streams = RandomStreams(seed)
+    return float(streams.stream(name).random())
+
+
+class TestWorkUnit:
+    def test_run_invokes_fn(self):
+        unit = WorkUnit(name="u", fn=_square, args=(3,))
+        assert unit.run() == 9
+
+    def test_kwargs_are_passed(self):
+        unit = WorkUnit(name="u", fn=_unit_seeded_draw,
+                        kwargs={"name": "a", "seed": 1})
+        assert unit.run() == _unit_seeded_draw("a", 1)
+
+
+class TestResolveJobs:
+    def test_none_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_is_auto(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_clamps_to_one(self):
+        assert resolve_jobs(-3) == 1
+
+
+class TestMapEquivalence:
+    def test_results_in_submission_order(self):
+        units = [WorkUnit(name=f"u{i}", fn=_square, args=(i,))
+                 for i in range(8)]
+        serial = ParallelExecutor(jobs=1).map(units)
+        parallel = ParallelExecutor(jobs=2).map(units)
+        assert serial == [i * i for i in range(8)]
+        assert parallel == serial
+
+    def test_seeded_units_identical_across_jobs(self):
+        units = [
+            WorkUnit(name=f"draw:{i}", fn=_unit_seeded_draw,
+                     args=(f"draw:{i}", SEED))
+            for i in range(6)
+        ]
+        serial = ParallelExecutor(jobs=1).map(units)
+        parallel = ParallelExecutor(jobs=3).map(units)
+        assert parallel == serial
+
+    def test_unpicklable_units_fall_back_to_serial(self):
+        captured = []
+
+        def closure(value):  # not picklable: local closure
+            captured.append(value)
+            return value + 1
+
+        units = [WorkUnit(name=f"c{i}", fn=closure, args=(i,))
+                 for i in range(3)]
+        executor = ParallelExecutor(jobs=2)
+        assert executor.map(units) == [1, 2, 3]
+        assert executor.fallbacks == 1
+        assert captured == [0, 1, 2]
+
+
+class TestCounterMerging:
+    def test_probe_counts_identical_at_any_jobs(self):
+        """Worker-side probe counters are shipped back and merged."""
+
+        def run(jobs):
+            instrument.reset()
+            run_fig4(keys=CHEAP_KEYS, samples=SAMPLES,
+                     n_requests=N_REQUESTS,
+                     streams=RandomStreams(SEED), jobs=jobs)
+            return instrument.value(instrument.PROBES)
+
+        serial_probes = run(1)
+        configure(ResultCache())  # drop cache so jobs=2 recomputes
+        parallel_probes = run(2)
+        assert serial_probes > 0
+        assert parallel_probes == serial_probes
+
+
+class TestFig4Equivalence:
+    def test_fig4_rows_identical_serial_vs_parallel(self):
+        serial = run_fig4(keys=CHEAP_KEYS, samples=SAMPLES,
+                          n_requests=N_REQUESTS,
+                          streams=RandomStreams(SEED), jobs=1)
+        configure(ResultCache())  # make jobs=2 recompute from scratch
+        parallel = run_fig4(keys=CHEAP_KEYS, samples=SAMPLES,
+                            n_requests=N_REQUESTS,
+                            streams=RandomStreams(SEED), jobs=2)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.key == b.key
+            assert a.host.throughput_rps == b.host.throughput_rps
+            assert a.host.metrics.latency_p99 == b.host.metrics.latency_p99
+            assert a.host.server_power_w == b.host.server_power_w
+            assert a.snic.throughput_rps == b.snic.throughput_rps
+            assert a.snic.metrics.latency_p99 == b.snic.metrics.latency_p99
+            assert a.snic.server_power_w == b.snic.server_power_w
+
+
+class TestMapCached:
+    def test_hits_skip_submission_and_misses_are_stored(self):
+        store = ResultCache()
+        keys = [cache_key("sq", i) for i in range(4)]
+        units = [WorkUnit(name=f"sq{i}", fn=_square, args=(i,))
+                 for i in range(4)]
+        store.put(keys[1], 111)  # pre-seed one hit
+        executor = ParallelExecutor(jobs=1)
+        results = map_cached(executor, units, keys, store=store)
+        assert results == [0, 111, 4, 9]
+        # Every miss landed in the cache.
+        for i in (0, 2, 3):
+            found, value = store.get(keys[i])
+            assert found and value == i * i
+
+    def test_operating_point_units_round_trip(self):
+        key = cache_key("op", CHEAP_KEYS[0], "host")
+        unit = WorkUnit(
+            name="op",
+            fn=compute_operating_point,
+            args=(CHEAP_KEYS[0], "host", SEED, SAMPLES, N_REQUESTS),
+        )
+        store = ResultCache()
+        first = map_cached(ParallelExecutor(jobs=1), [unit], [key],
+                           store=store)
+        second = map_cached(ParallelExecutor(jobs=1), [unit], [key],
+                            store=store)
+        assert second[0] is first[0]

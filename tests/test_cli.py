@@ -30,6 +30,15 @@ class TestParser:
         assert args.command == "faults"
         assert args.smoke
 
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["--jobs", "4", "fig4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["fig4"]).jobs == 1
+
+    def test_cache_dir_flag(self):
+        args = build_parser().parse_args(["--cache-dir", "/tmp/c", "fig4"])
+        assert args.cache_dir == "/tmp/c"
+
     def test_every_verb_help_exits_zero(self, capsys):
         parser = build_parser()
         verbs = {
@@ -42,6 +51,48 @@ class TestParser:
                 build_parser().parse_args([verb, "--help"])
             assert excinfo.value.code == 0, f"{verb} --help failed"
             assert capsys.readouterr().out  # usage text was printed
+
+
+class TestCsvValidation:
+    """--csv must either work or fail loudly — never be silently ignored."""
+
+    @pytest.mark.parametrize("verb", ["fig7", "report", "table4",
+                                      "observations", "faults"])
+    def test_csv_rejected_for_unsupported_verbs(self, verb, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--csv", "out.csv", verb])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--csv is not supported" in err
+        assert verb in err
+
+    def test_csv_accepted_for_fig4(self, tmp_path, capsys):
+        target = tmp_path / "fig4.csv"
+        code = main(["--samples", "20", "--requests", "600",
+                     "--csv", str(target), "fig4"])
+        assert code == 0
+        capsys.readouterr()
+        assert target.exists()
+        assert target.read_text().count("\n") > 1
+
+
+class TestInstrumentFooter:
+    def test_footer_reports_probes_and_cache(self, capsys):
+        assert main(["--samples", "20", "--requests", "600", "fig4"]) == 0
+        err = capsys.readouterr().err
+        assert "probes" in err
+        assert "cache" in err and "hit" in err and "miss" in err
+
+    def test_cache_dir_persists_across_invocations(self, tmp_path, capsys):
+        argv = ["--samples", "20", "--requests", "600",
+                "--cache-dir", str(tmp_path), "fig4"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        # Same artifact, but the second run probed nothing.
+        assert second.out == first.out
+        assert "probes 0 " in second.err or "probes 0 |" in second.err
 
 
 class TestCheapCommands:
