@@ -5,10 +5,15 @@ path, DFA scanning, DEFLATE) — regressions here make every experiment
 slower.
 """
 
+import json
+from pathlib import Path
+
 import numpy as np
-from conftest import mean_seconds, record_bench
+import pytest
+from conftest import _RECORDS, mean_seconds, record_bench
 
 from repro.core import Resource, Simulator
+from repro.core import trace
 from repro.core.queueing import simulate_gg1
 from repro.functions.compression import deflate
 from repro.functions.regex.rulesets import compile_ruleset
@@ -52,6 +57,82 @@ def test_lindley_fast_path(benchmark):
     benchmark(run)
     record_bench("kernel", "lindley_fast_path",
                  seconds_mean=mean_seconds(benchmark), requests=20_000)
+
+
+def test_trace_disabled_overhead(benchmark):
+    """Flight-recorder overhead contract: tracing off must cost ~nothing.
+
+    Runs the same kernel workload as ``test_event_kernel_throughput``
+    with tracing disabled and guards against the untraced kernel number
+    recorded earlier in this session (falling back to the machine's last
+    ``BENCH_kernel.json``).  The tolerance is deliberately loose (4x) —
+    this is a tripwire for accidental hot-path instrumentation (e.g.
+    emitting events without the ``trace.TRACING`` guard), not a
+    microbenchmark of machine noise.
+    """
+    trace.disable()
+
+    def run():
+        sim = Simulator()
+        core = Resource(sim, capacity=2)
+
+        def job():
+            yield core.request()
+            yield sim.timeout(1e-6)
+            core.release()
+
+        for _ in range(2000):
+            sim.process(job())
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired > 0
+    seconds = mean_seconds(benchmark)
+    record_bench("kernel", "trace_disabled_overhead", seconds_mean=seconds,
+                 events_fired=int(fired))
+
+    reference = _RECORDS.get("kernel", {}).get("event_kernel",
+                                               {}).get("seconds_mean")
+    if not reference:
+        baseline_path = (Path(__file__).resolve().parent.parent
+                         / "BENCH_kernel.json")
+        if not baseline_path.exists():
+            pytest.skip("no event_kernel baseline recorded on this machine")
+        reference = (json.loads(baseline_path.read_text())
+                     .get("event_kernel", {}).get("seconds_mean"))
+    if not reference:
+        pytest.skip("baseline lacks event_kernel seconds_mean")
+    assert seconds < 4.0 * reference, (
+        f"disabled-trace kernel run took {seconds:.4f}s vs baseline "
+        f"{reference:.4f}s — tracing is leaking into the hot path"
+    )
+
+
+def test_trace_enabled_ratio(benchmark):
+    """Record (not gate) the enabled-tracing cost of the same workload."""
+
+    def run():
+        trace.enable(capacity=1 << 14)
+        try:
+            sim = Simulator()
+            core = Resource(sim, capacity=2)
+
+            def job():
+                yield core.request()
+                yield sim.timeout(1e-6)
+                core.release()
+
+            for _ in range(2000):
+                sim.process(job())
+            sim.run()
+            return sim.events_fired
+        finally:
+            trace.disable()
+
+    fired = benchmark(run)
+    record_bench("kernel", "trace_enabled", seconds_mean=mean_seconds(benchmark),
+                 events_fired=int(fired))
 
 
 def test_dfa_scan_rate(benchmark):

@@ -30,6 +30,8 @@ from ..experiments.observations import (
     observation_4,
     observation_5,
 )
+from .attribution import format_attribution_markdown
+from .attribution import rows_from_fig4 as attribution_rows_from_fig4
 from .tco import format_comparison
 
 
@@ -190,7 +192,8 @@ def render_faults_section(faults_text: str) -> List[str]:
 
 def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
                   table5_text: str, fig7_stats: Dict[str, float],
-                  faults_text: Optional[str] = None) -> str:
+                  faults_text: Optional[str] = None,
+                  attribution_text: Optional[str] = None) -> str:
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -229,6 +232,22 @@ def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
         f"peak {fig7_stats['peak_gbps']:.2f} Gb/s over "
         f"{fig7_stats['duration_s']:.0f} s",
     ]
+    if attribution_text is not None:
+        lines += [
+            "",
+            "## Latency attribution (extension)",
+            "",
+            "Each operating point's mean and p99-tail sojourn split into",
+            "queueing wait, service, batch-formation wait, the stack-RTT",
+            "floor, and retry/fault stall.  Components are accumulated",
+            "per request inside the queueing fast paths, so the mean",
+            "columns sum to the reported mean sojourn exactly (`check`).",
+            "Tail columns are means over requests at or above the window",
+            "p99: CPU platforms' tails are queueing-dominated, the",
+            "accelerator's by batch formation plus the batch service span.",
+            "",
+            attribution_text,
+        ]
     if faults_text is not None:
         lines += render_faults_section(faults_text)
     lines += [
@@ -298,4 +317,6 @@ def generate_report(
         format_comparison(table5.comparisons),
         fig7.stats,
         faults_text=format_faults(faults),
+        attribution_text=format_attribution_markdown(
+            attribution_rows_from_fig4(fig4_rows)),
     )

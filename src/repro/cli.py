@@ -11,11 +11,20 @@ Usage::
     python -m repro observations      # O1-O5 verdicts
     python -m repro faults [--smoke]  # availability under fault scenarios
     python -m repro report [-o FILE]  # full EXPERIMENTS.md
+    python -m repro trace fig4 --smoke   # flight-recorder trace of a run
+
+Any verb takes ``--trace`` (record the run into the flight recorder and
+write ``trace.jsonl`` + Chrome ``trace.json`` on exit), ``--trace-dir``
+(where to write them; implies ``--trace``) and ``--log-level`` (the
+``repro.*`` logger hierarchy).  The timing footer on stderr always
+prints — even when a verb fails — with probe/cache/kernel/trace totals.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 import time
 from typing import List, Optional
@@ -23,7 +32,7 @@ from typing import List, Optional
 from .analysis.report import generate_report
 from .analysis.tables import format_all_tables
 from .analysis.tco import format_comparison
-from .core import instrument
+from .core import instrument, trace
 from .core.cache import ResultCache, configure
 from .core.rng import RandomStreams
 from .experiments import (
@@ -67,24 +76,128 @@ def build_parser() -> argparse.ArgumentParser:
                              "them across invocations")
     parser.add_argument("--csv", default=None, metavar="FILE",
                         help="also write the result as CSV (fig4/fig5/fig6/table5)")
+    parser.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="level for the repro.* logger hierarchy")
+    parser.add_argument("--trace", action="store_true",
+                        help="record the run into the flight recorder and "
+                             "write trace.jsonl + trace.json on exit")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="directory for trace files (implies --trace)")
+    parser.add_argument("--metrics-interval", type=float,
+                        default=trace.DEFAULT_METRICS_INTERVAL_S,
+                        metavar="SECONDS",
+                        help="window for queue-depth/utilization series "
+                             "in the trace")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def _mirror_common(p: argparse.ArgumentParser) -> None:
+        # The global observability flags are also accepted after the
+        # subcommand (`repro trace fig4 --trace-dir out/`).  SUPPRESS
+        # defaults keep the subparser from clobbering main-parser values.
+        p.add_argument("--log-level", choices=("debug", "info", "warning",
+                                               "error"),
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--trace", action="store_true",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--trace-dir", metavar="DIR",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--metrics-interval", type=float, metavar="SECONDS",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
     for name in ("fig4", "fig5", "fig6", "fig7", "table4", "table5",
                  "observations", "tables", "strategy1", "modes",
                  "sensitivity", "microburst"):
-        sub.add_parser(name, help=f"regenerate {name}")
+        _mirror_common(sub.add_parser(name, help=f"regenerate {name}"))
     faults = sub.add_parser(
         "faults", help="availability under fault scenarios (failover study)"
     )
     faults.add_argument("--smoke", action="store_true",
                         help="tiny deterministic subset (seconds, for CI)")
+    _mirror_common(faults)
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default=None,
                         help="write to a file instead of stdout")
+    _mirror_common(report)
+    tracer = sub.add_parser(
+        "trace", help="run an experiment with the flight recorder on and "
+                      "export the trace"
+    )
+    tracer.add_argument("experiment", choices=("fig4", "fig5", "faults"),
+                        help="which experiment to trace")
+    tracer.add_argument("--smoke", action="store_true",
+                        help="tiny deterministic subset (seconds, for CI)")
+    _mirror_common(tracer)
     return parser
 
 
 # Subcommands whose output has a CSV writer; everything else rejects --csv.
 CSV_COMMANDS = frozenset({"fig4", "fig5", "fig6", "table5"})
+
+# Smoke fidelity for `repro trace <experiment> --smoke`: a spread that
+# still exercises the CPU queueing, accelerator batch, and cache layers.
+TRACE_SMOKE_KEYS = ("udp:64", "redis:a", "rem:file_image")
+
+
+def _configure_logging(level_name: str) -> None:
+    """One stderr handler on the ``repro`` root of the logger hierarchy."""
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root.handlers[:] = [handler]
+    root.setLevel(getattr(logging, level_name.upper()))
+    root.propagate = False
+
+
+def _write_trace_files(trace_dir: str) -> None:
+    """Export the active recorder as JSONL + Chrome trace_event JSON."""
+    rec = trace.recorder()
+    if rec is None:
+        return
+    os.makedirs(trace_dir, exist_ok=True)
+    jsonl_path = os.path.join(trace_dir, "trace.jsonl")
+    chrome_path = os.path.join(trace_dir, "trace.json")
+    with open(jsonl_path, "w") as handle:
+        trace.export_jsonl(handle, rec)
+    with open(chrome_path, "w") as handle:
+        trace.export_chrome(handle, rec)
+    print(f"wrote {jsonl_path} and {chrome_path} "
+          f"({len(rec)} events, {rec.dropped} dropped)", file=sys.stderr)
+
+
+def _run_trace_experiment(args, streams) -> None:
+    """The ``trace`` verb body: run one experiment under the recorder."""
+    if args.experiment == "fig4":
+        keys = TRACE_SMOKE_KEYS if args.smoke else None
+        samples = min(args.samples, 40) if args.smoke else args.samples
+        requests = min(args.requests, 2_500) if args.smoke else args.requests
+        kwargs = dict(samples=samples, n_requests=requests, streams=streams,
+                      jobs=args.jobs)
+        if keys is not None:
+            kwargs["keys"] = keys
+        rows = run_fig4(**kwargs)
+        print(format_fig4(rows))
+    elif args.experiment == "fig5":
+        samples = min(args.samples, 40) if args.smoke else args.samples
+        requests = min(args.requests, 2_500) if args.smoke else args.requests
+        rates = (10, 30, 50) if args.smoke else None
+        kwargs = dict(samples=samples, n_requests=requests, streams=streams,
+                      jobs=args.jobs)
+        if rates is not None:
+            kwargs["rates_gbps"] = rates
+        figure = run_fig5(**kwargs)
+        print(format_fig5(figure))
+    else:  # faults
+        from .experiments.faults import format_faults, run_faults_study
+
+        print(format_faults(run_faults_study(
+            samples=args.samples, n_requests=args.requests, streams=streams,
+            smoke=args.smoke, jobs=args.jobs)))
+    rec = trace.recorder()
+    if rec is not None:
+        counts = ", ".join(f"{cat}={n}" for cat, n in
+                           sorted(rec.category_counts().items()))
+        print(f"trace categories: {counts}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -95,11 +208,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"--csv is not supported by '{args.command}' "
             f"(supported: {', '.join(sorted(CSV_COMMANDS))})"
         )
+    if args.metrics_interval <= 0:
+        parser.error("--metrics-interval must be positive")
+    _configure_logging(args.log_level)
     instrument.reset()
     configure(ResultCache(cache_dir=args.cache_dir))
     streams = RandomStreams(args.seed)
+    tracing = args.trace or args.trace_dir is not None or args.command == "trace"
+    if tracing:
+        trace.enable(metrics_interval_s=args.metrics_interval)
     started = time.time()
+    try:
+        return _dispatch(args, streams)
+    finally:
+        # The footer (and any trace files) must survive a failing verb:
+        # a run that died mid-study still reports what it actually did.
+        try:
+            if tracing:
+                _write_trace_files(args.trace_dir or ".")
+        finally:
+            _print_footer(started)
+            trace.disable()
 
+
+def _print_footer(started: float) -> None:
+    parts = [
+        f"{time.time() - started:.1f}s",
+        f"probes {instrument.value(instrument.PROBES)}",
+        f"cache {instrument.value(instrument.CACHE_HITS)} hit / "
+        f"{instrument.value(instrument.CACHE_MISSES)} miss",
+        f"kernel {instrument.value(instrument.EVENTS_SCHEDULED)} sched / "
+        f"{instrument.value(instrument.EVENTS_FIRED)} fired",
+    ]
+    rec = trace.recorder()
+    if rec is not None:
+        parts.append(trace.summary_line(rec))
+    print(f"[{' | '.join(parts)}]", file=sys.stderr)
+
+
+def _dispatch(args, streams) -> int:
     if args.command == "fig4":
         from .analysis.plots import fig4_chart
 
@@ -210,14 +357,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {args.output}", file=sys.stderr)
         else:
             print(text)
-
-    print(
-        f"[{time.time() - started:.1f}s | "
-        f"probes {instrument.value(instrument.PROBES)} | "
-        f"cache {instrument.value(instrument.CACHE_HITS)} hit / "
-        f"{instrument.value(instrument.CACHE_MISSES)} miss]",
-        file=sys.stderr,
-    )
+    elif args.command == "trace":
+        _run_trace_experiment(args, streams)
     return 0
 
 

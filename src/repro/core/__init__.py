@@ -15,6 +15,7 @@ from .metrics import (
 from .resources import Resource, Store
 from .rng import RandomStreams
 from .sweep import SweepResult, find_max_sustainable_rate, rate_response_curve
+from .trace import TraceEvent, TraceRecorder, export_chrome, export_jsonl
 
 __all__ = [
     "CODE_VERSION",
@@ -41,4 +42,8 @@ __all__ = [
     "summarize_samples",
     "find_max_sustainable_rate",
     "rate_response_curve",
+    "TraceEvent",
+    "TraceRecorder",
+    "export_chrome",
+    "export_jsonl",
 ]

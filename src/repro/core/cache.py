@@ -26,11 +26,12 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from . import instrument
+from . import instrument, trace
 
 # Bump whenever measurement semantics change (models, stream naming,
 # ladder shape, metrics definitions): old cached results become garbage.
-CODE_VERSION = "2026.08.0"
+# 2026.08.1: outcome metrics carry latency-attribution extras (PR 3).
+CODE_VERSION = "2026.08.1"
 
 _PRIMITIVES = (str, int, float, bool, bytes, type(None))
 
@@ -88,6 +89,8 @@ class ResultCache:
         if key in self._memory:
             self.stats.hits += 1
             instrument.increment(instrument.CACHE_HITS)
+            if trace.TRACING:
+                trace.instant("cache.get", trace.CACHE, key=key[:12], hit=True)
             return True, self._memory[key]
         if self.cache_dir:
             path = self._path(key)
@@ -103,12 +106,19 @@ class ResultCache:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
                     instrument.increment(instrument.CACHE_HITS)
+                    if trace.TRACING:
+                        trace.instant("cache.get", trace.CACHE,
+                                      key=key[:12], hit=True, disk=True)
                     return True, value
         self.stats.misses += 1
         instrument.increment(instrument.CACHE_MISSES)
+        if trace.TRACING:
+            trace.instant("cache.get", trace.CACHE, key=key[:12], hit=False)
         return False, None
 
     def put(self, key: str, value: Any) -> None:
+        if trace.TRACING:
+            trace.instant("cache.put", trace.CACHE, key=key[:12])
         self._memory[key] = value
         if self.cache_dir:
             path = self._path(key)

@@ -14,7 +14,10 @@ runs with the same seeds produce identical traces.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from . import instrument, trace
 
 
 class SimulationError(RuntimeError):
@@ -157,11 +160,24 @@ class Simulator:
         # entries in FIFO order without ever comparing the payload.
         self._queue: List[Tuple[float, int, Any]] = []
         self._sequence = 0
+        # Flight-recorder bookkeeping: fired-event count and cumulative
+        # run-loop wall time.  Folded into the process-wide instrument
+        # counters at the end of every run() call (not per event — the
+        # run loop itself only pays one local integer add per event).
+        self.events_fired = 0
+        self.run_wall_s = 0.0
+        self._folded_scheduled = 0
+        self._folded_fired = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever pushed onto the queue."""
+        return self._sequence
 
     def _schedule_event(self, delay: float, event: Any) -> None:
         self._sequence += 1
@@ -188,6 +204,7 @@ class Simulator:
             raise SimulationError("time went backwards")
         self._now = time
         event._fire()
+        self.events_fired += 1
         return True
 
     def run(self, until: Optional[float] = None) -> float:
@@ -196,18 +213,43 @@ class Simulator:
             raise SimulationError(f"run(until={until}) is in the past")
         # Inlined step loop: one heappop and one _fire per event, without
         # the peek/step call overhead — this is the kernel's hot loop.
+        # Instrumentation stays out of it: one local integer add per
+        # event, folded into the process counters once on exit.
         queue = self._queue
         pop = heapq.heappop
-        while queue:
-            if until is not None and queue[0][0] > until:
+        fired = 0
+        wall_start = perf_counter()
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    return self._now
+                time, _, event = pop(queue)
+                self._now = time
+                event._fire()
+                fired += 1
+            if until is not None:
                 self._now = until
-                return self._now
-            time, _, event = pop(queue)
-            self._now = time
-            event._fire()
-        if until is not None:
-            self._now = until
-        return self._now
+            return self._now
+        finally:
+            self.events_fired += fired
+            self.run_wall_s += perf_counter() - wall_start
+            self._fold_instrumentation()
+
+    def _fold_instrumentation(self) -> None:
+        """Publish scheduled/fired deltas since the last fold."""
+        scheduled = self._sequence - self._folded_scheduled
+        fired = self.events_fired - self._folded_fired
+        if scheduled:
+            instrument.increment(instrument.EVENTS_SCHEDULED, scheduled)
+        if fired:
+            instrument.increment(instrument.EVENTS_FIRED, fired)
+        self._folded_scheduled = self._sequence
+        self._folded_fired = self.events_fired
+        if trace.TRACING:
+            trace.instant("sim.run", trace.SIM, ts=self._now,
+                          events_fired=self.events_fired,
+                          events_scheduled=self._sequence)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""

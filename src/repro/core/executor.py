@@ -25,6 +25,7 @@ parent, so CLI footers report identical totals at any ``--jobs``.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
@@ -40,10 +41,12 @@ from typing import (
     Tuple,
 )
 
-from . import instrument
+from . import instrument, trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cache import ResultCache
+
+logger = logging.getLogger("repro.executor")
 
 
 @dataclass(frozen=True)
@@ -64,11 +67,43 @@ class WorkUnit:
         return self.fn(*self.args, **self.kwargs)
 
 
-def _invoke(unit: WorkUnit) -> Tuple[Any, Dict[str, int]]:
-    """Worker entry point: run a unit and capture its counter delta."""
+def _invoke(
+    unit: WorkUnit, trace_spec: Optional[Dict[str, Any]] = None
+) -> Tuple[Any, Dict[str, int], Optional[List[trace.TraceEvent]]]:
+    """Worker entry point: run a unit; capture counter + trace deltas.
+
+    When the parent traces, the worker records onto a fresh buffer under
+    the unit's track (per-track logical clocks restart at zero, exactly
+    as they would on first use of that track in a serial run) and ships
+    the events back alongside the counter delta.
+    """
     before = instrument.snapshot()
-    result = unit.run()
-    return result, instrument.delta_since(before)
+    if trace_spec is None:
+        result = unit.run()
+        return result, instrument.delta_since(before), None
+    recorder = trace.enable(**trace_spec)
+    try:
+        with trace.track(unit.name):
+            result = unit.run()
+        return result, instrument.delta_since(before), recorder.events()
+    finally:
+        trace.disable()
+
+
+def _emit_unit_profile(unit: WorkUnit, events: int, delta: Dict[str, int]) -> None:
+    """Per-work-unit profile instant on the parent's current track.
+
+    Emitted at the same point of the merge sequence in both the serial
+    and parallel paths, with identical deterministic args, so traces
+    stay byte-identical at any ``--jobs``.
+    """
+    trace.instant(
+        "unit", trace.PROBE,
+        unit=unit.name,
+        events=events,
+        probes=delta.get(instrument.PROBES, 0),
+        sim_events=delta.get(instrument.EVENTS_FIRED, 0),
+    )
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -99,18 +134,50 @@ class ParallelExecutor:
     def map(self, units: Sequence[WorkUnit]) -> List[Any]:
         units = list(units)
         self.units_run += len(units)
-        if self.jobs <= 1 or len(units) <= 1:
-            return [unit.run() for unit in units]
-        if not self._picklable(units):
+        serial = self.jobs <= 1 or len(units) <= 1
+        if not serial and not self._picklable(units):
             self.fallbacks += 1
+            logger.debug("batch of %d units is not picklable; running serially",
+                         len(units))
+            serial = True
+        if serial:
+            return self._map_serial(units)
+        return self._map_parallel(units)
+
+    def _map_serial(self, units: Sequence[WorkUnit]) -> List[Any]:
+        if not trace.TRACING:
             return [unit.run() for unit in units]
+        recorder = trace.recorder()
+        results: List[Any] = []
+        for unit in units:
+            before_appended = recorder.appended
+            before = instrument.snapshot()
+            with trace.track(unit.name):
+                result = unit.run()
+            _emit_unit_profile(unit, recorder.appended - before_appended,
+                               instrument.delta_since(before))
+            results.append(result)
+        return results
+
+    def _map_parallel(self, units: Sequence[WorkUnit]) -> List[Any]:
+        recorder = trace.recorder()
+        trace_spec = None
+        if recorder is not None:
+            trace_spec = {"capacity": recorder.capacity,
+                          "metrics_interval_s": recorder.metrics_interval_s}
         workers = min(self.jobs, len(units))
+        logger.debug("fanning %d units over %d workers", len(units), workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_invoke, unit) for unit in units]
+            futures = [pool.submit(_invoke, unit, trace_spec) for unit in units]
             results: List[Any] = []
-            for future in futures:
-                result, delta = future.result()
+            # Merging in submission order reproduces the serial event
+            # sequence (and counter totals) byte for byte.
+            for unit, future in zip(units, futures):
+                result, delta, events = future.result()
                 instrument.merge(delta)
+                if events is not None and recorder is not None:
+                    recorder.extend(events)
+                    _emit_unit_profile(unit, len(events), delta)
                 results.append(result)
         return results
 

@@ -1,11 +1,13 @@
 """Process-local instrumentation counters.
 
 The experiment stack counts cheap, coarse things — rate probes run,
-cache hits — so the CLI can report what a command actually did.  The
-counters are plain process-local integers; the parallel executor
-snapshots them around each work unit in the worker process and ships the
-delta back, so parent-side totals are identical whether a study ran with
-``--jobs 1`` or ``--jobs N``.
+cache hits, kernel events, trace-buffer evictions — so the CLI can
+report what a command actually did.  The counters are plain
+process-local integers keyed by *any* dotted name (the well-known names
+below are just constants); the parallel executor snapshots them around
+each work unit in the worker process and ships the delta back, so
+parent-side totals are identical whether a study ran with ``--jobs 1``
+or ``--jobs N``.
 """
 
 from __future__ import annotations
@@ -15,6 +17,11 @@ from typing import Dict
 PROBES = "probes"
 CACHE_HITS = "cache_hits"
 CACHE_MISSES = "cache_misses"
+# Kernel flight-recorder counters (PR 3): folded by Simulator.run() and
+# the trace ring buffer; merged across workers like every other counter.
+EVENTS_SCHEDULED = "sim.events_scheduled"
+EVENTS_FIRED = "sim.events_fired"
+TRACE_DROPPED = "trace.dropped"
 
 _counters: Dict[str, int] = {}
 

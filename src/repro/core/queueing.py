@@ -17,14 +17,27 @@ percentile/throughput metrics as the event-driven path are computed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from . import trace
 from .metrics import RunMetrics, summarize_samples
 
 ServiceSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+# Latency-attribution component names.  Each QueueOutcome carries a set
+# of per-request component arrays that sum (exactly) to its sojourns;
+# the attribution report in EXPERIMENTS.md is built from these.
+COMP_QUEUE_WAIT = "queue_wait"      # time in FIFO before service begins
+COMP_SERVICE = "service"            # time being served (whole batch span
+                                    # on the accelerator path)
+COMP_BATCH_WAIT = "batch_wait"      # waiting for a batch to form/dispatch
+COMP_STACK_RTT = "stack_rtt"        # fixed network-stack RTT floor
+COMP_STALL = "stall"                # retry/fault stall (faults study)
+COMPONENTS = (COMP_QUEUE_WAIT, COMP_SERVICE, COMP_BATCH_WAIT,
+              COMP_STACK_RTT, COMP_STALL)
 
 
 def lindley_waits(interarrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
@@ -53,9 +66,31 @@ class QueueOutcome:
     services: np.ndarray
     arrivals: np.ndarray
     dropped: int = 0
+    # Per-request latency decomposition (COMP_* keys).  Invariant: the
+    # component arrays sum element-wise to ``sojourns``; code that adds
+    # latency to ``sojourns`` must add a matching component (see
+    # ``add_component``).
+    components: Dict[str, np.ndarray] = field(default_factory=dict)
 
     def completions(self) -> np.ndarray:
         return self.arrivals + self.sojourns
+
+    def add_component(self, name: str, values: np.ndarray) -> None:
+        """Add latency to every request, keeping attribution consistent."""
+        self.sojourns = self.sojourns + values
+        if name in self.components:
+            self.components[name] = self.components[name] + values
+        else:
+            self.components[name] = np.asarray(values, dtype=float)
+
+    def component_residual(self) -> float:
+        """Max |sojourn - sum(components)|; ~0 when attribution is exact."""
+        if not self.components or len(self.sojourns) == 0:
+            return 0.0
+        total = np.zeros_like(self.sojourns)
+        for values in self.components.values():
+            total = total + values
+        return float(np.max(np.abs(self.sojourns - total)))
 
 
 def simulate_gg1(
@@ -93,10 +128,16 @@ def simulate_gg1(
 
     if queue_limit is None:
         waits = lindley_waits(gaps, services)
-        return QueueOutcome(sojourns=waits + services, services=services, arrivals=arrivals)
+        outcome = QueueOutcome(
+            sojourns=waits + services, services=services, arrivals=arrivals,
+            components={COMP_QUEUE_WAIT: waits, COMP_SERVICE: services},
+        )
+        if trace.TRACING:
+            _emit_queue_series(outcome, dropped_total=0)
+        return outcome
 
     # With a buffer bound we track unfinished work and drop on overflow.
-    kept_sojourns = []
+    kept_waits = []
     kept_services = []
     kept_arrivals = []
     dropped = 0
@@ -109,16 +150,22 @@ def simulate_gg1(
         if backlog > queue_limit:
             dropped += 1
             continue
-        kept_sojourns.append(backlog + services[i])
+        kept_waits.append(backlog)
         kept_services.append(services[i])
         kept_arrivals.append(arrival)
         backlog += services[i]
-    return QueueOutcome(
-        sojourns=np.asarray(kept_sojourns),
-        services=np.asarray(kept_services),
+    waits = np.asarray(kept_waits)
+    kept = np.asarray(kept_services)
+    outcome = QueueOutcome(
+        sojourns=waits + kept,
+        services=kept,
         arrivals=np.asarray(kept_arrivals),
         dropped=dropped,
+        components={COMP_QUEUE_WAIT: waits, COMP_SERVICE: kept},
     )
+    if trace.TRACING:
+        _emit_queue_series(outcome, dropped_total=dropped)
+    return outcome
 
 
 def simulate_sharded(
@@ -176,6 +223,9 @@ def simulate_batch_server(
     arrivals = np.cumsum(gaps)
     sojourns = np.empty(n_requests)
     services = np.empty(n_requests)
+    batch_waits = np.empty(n_requests)
+    service_spans = np.empty(n_requests)
+    batch_log = [] if trace.TRACING else None
 
     server_free_at = 0.0
     index = 0
@@ -203,13 +253,108 @@ def simulate_batch_server(
             ):
                 end += 1
         batch = end - index
-        finish = dispatch + setup_time + batch * per_item_time
+        span = setup_time + batch * per_item_time
+        finish = dispatch + span
         sojourns[index:end] = finish - arrivals[index:end]
         services[index:end] = setup_time / batch + per_item_time
+        # Attribution: a request waits for its batch to form/dispatch,
+        # then experiences the full batch service span.
+        batch_waits[index:end] = dispatch - arrivals[index:end]
+        service_spans[index:end] = span
+        if batch_log is not None:
+            batch_log.append((dispatch, batch, span))
         server_free_at = finish
         index = end
 
-    return QueueOutcome(sojourns=sojourns, services=services, arrivals=arrivals)
+    outcome = QueueOutcome(
+        sojourns=sojourns, services=services, arrivals=arrivals,
+        components={COMP_BATCH_WAIT: batch_waits, COMP_SERVICE: service_spans},
+    )
+    if batch_log is not None:
+        _emit_batch_series(batch_log)
+        _emit_queue_series(outcome, dropped_total=0)
+    return outcome
+
+
+def _emit_queue_series(outcome: QueueOutcome, dropped_total: int = 0) -> None:
+    """Per-window queue-depth / utilization counters onto the trace.
+
+    Vectorized over window edges (searchsorted + histogram) so the cost
+    is independent of the request count; capped at
+    :data:`trace.MAX_SERIES_POINTS` windows per probe so a long run
+    cannot flood the ring buffer.  Only called when tracing is enabled.
+    """
+    n = len(outcome.sojourns)
+    rec = trace.recorder()
+    if n == 0 or rec is None:
+        return
+    completions = outcome.completions()
+    horizon = float(completions.max())
+    if horizon <= 0:
+        return
+    interval = rec.metrics_interval_s
+    n_windows = int(np.ceil(horizon / interval))
+    if n_windows > trace.MAX_SERIES_POINTS:
+        n_windows = trace.MAX_SERIES_POINTS
+        interval = horizon / n_windows
+    edges = np.arange(1, n_windows + 1) * interval
+    sorted_completions = np.sort(completions)
+    arrived = np.searchsorted(outcome.arrivals, edges, side="right")
+    done = np.searchsorted(sorted_completions, edges, side="right")
+    depth = arrived - done
+    busy, _ = np.histogram(completions, bins=np.concatenate(([0.0], edges)),
+                           weights=outcome.services)
+    util = np.minimum(busy / interval, 1.0)
+    track = trace.subtrack("queue")
+    for i in range(n_windows):
+        trace.counter("queue", trace.QUEUE, ts=float(edges[i]), track=track,
+                      depth=int(depth[i]), util=round(float(util[i]), 6))
+    if dropped_total:
+        trace.instant("queue.dropped", trace.QUEUE, ts=horizon, track=track,
+                      dropped=dropped_total)
+
+
+def _emit_batch_series(batch_log) -> None:
+    """Batch-formation spans for the accelerator fast path (trace-only)."""
+    step = max(1, len(batch_log) // trace.MAX_SERIES_POINTS)
+    track = trace.subtrack("batches")
+    for dispatch, batch, span in batch_log[::step]:
+        trace.complete("batch", trace.ACCEL_BATCH, ts=dispatch, dur=span,
+                       track=track, size=batch)
+
+
+def attribute_outcome(
+    outcome: QueueOutcome, warmup_fraction: float = 0.1
+) -> Dict[str, float]:
+    """Latency attribution over the measurement window.
+
+    Returns ``attr.*`` floats for :attr:`RunMetrics.extra`: the mean of
+    each component over the kept (post-warmup) requests — these sum to
+    the reported mean sojourn exactly — plus the tail-conditional means
+    (requests at or above the kept p99), which sum to ``attr.tail_mean_s``
+    and show *where* the p99 comes from.
+    """
+    n = len(outcome.sojourns)
+    if n == 0 or not outcome.components:
+        return {}
+    skip = int(n * warmup_fraction)
+    kept = outcome.sojourns[skip:]
+    if kept.size == 0:
+        return {}
+    p99 = np.percentile(kept, 99.0)
+    tail = kept >= p99
+    result = {
+        "attr.sojourn_mean_s": float(np.mean(kept)),
+        "attr.tail_mean_s": float(np.mean(kept[tail])),
+    }
+    for name in COMPONENTS:
+        values = outcome.components.get(name)
+        if values is None:
+            continue
+        kept_values = values[skip:]
+        result[f"attr.{name}_mean_s"] = float(np.mean(kept_values))
+        result[f"attr.{name}_tail_s"] = float(np.mean(kept_values[tail]))
+    return result
 
 
 def outcome_to_metrics(
@@ -265,4 +410,7 @@ def outcome_to_metrics(
         latency_p99=latency.p99,
         latency_mean=latency.mean,
         dropped=outcome.dropped,
+        # Same warmup window as the latency summary, so the component
+        # means sum to latency_mean exactly.
+        extra=attribute_outcome(outcome, warmup_fraction),
     )

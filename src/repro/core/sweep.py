@@ -10,13 +10,17 @@ returned.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from . import trace
 from .metrics import RunMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from .executor import ParallelExecutor
+
+logger = logging.getLogger("repro.sweep")
 
 RunFn = Callable[[float], RunMetrics]
 
@@ -113,8 +117,19 @@ def find_max_sustainable_rate(
         try:
             metrics = run_at(rate)
         except Exception as error:  # noqa: BLE001 — deliberate containment
+            logger.warning("probe at rate %.6g failed (%s: %s); contained",
+                           rate, type(error).__name__, error)
             metrics = _failed_probe_metrics(rate, error)
         probes.append(metrics)
+        if trace.TRACING:
+            trace.instant(
+                "sweep.probe", trace.PROBE,
+                rate=round(rate, 6),
+                sustained=bool(metrics.sustained),
+                p99_us=(round(metrics.latency_p99 * 1e6, 3)
+                        if metrics.latency_p99 != float("inf") else -1.0),
+                failed=bool(metrics.extra.get("probe_failed")),
+            )
         return metrics
 
     best: Optional[RunMetrics] = None

@@ -25,6 +25,7 @@ recover (fault end → traffic back on the SNIC path).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,8 @@ from .measurement import (
 )
 from .profiles import get_profile
 
+logger = logging.getLogger("repro.faults")
+
 # Fig. 4 spread: two accelerator-backed functions, a kernel-stack KV
 # store, and a SNIC-CPU packet function.
 FAULT_FUNCTIONS = ("rem:file_image", "compression:app", "redis:a", "ovs:10")
@@ -90,6 +93,9 @@ class ScenarioResult:
     host_share_steady: float
     host_share_fault: float
     recovery_s: float  # nan when the scenario has no outage to recover from
+    # Mean extra delay survivors spent in timeout/retry backoff (the
+    # "retry/fault stall" attribution component; 0 outside link faults).
+    retry_stall_mean_s: float = 0.0
     fault_windows: List[Tuple[float, float]] = field(default_factory=list)
 
     @property
@@ -325,8 +331,11 @@ def _run_link_scenario(
         latencies=latencies,
         outage_windows=[],
     )
-    return _summarize(function, "link-burst-loss", healed, baseline_p99_s,
-                      _fault_union(timeline), float("nan"))
+    result = _summarize(function, "link-burst-loss", healed, baseline_p99_s,
+                        _fault_union(timeline), float("nan"))
+    stalls = extra[kept_idx][survivor_mask]
+    result.retry_stall_mean_s = float(np.mean(stalls)) if len(stalls) else 0.0
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -350,6 +359,7 @@ def compute_function_report(
     fault-timeline substreams (``fault:{scenario}``) restart per function
     unit, keeping each function's scenario draws self-contained.
     """
+    logger.info("fault report: %s (%d scenarios)", key, len(scenarios))
     streams = RandomStreams(seed)
     profile = get_profile(key, samples=samples)
     platform = snic_platform_for(profile)
@@ -466,7 +476,7 @@ def format_faults(result: FaultStudyResult) -> str:
         lines.append(
             f"  {'scenario':<18} {'avail':>8} {'p99 us':>10} {'p999 us':>10} "
             f"{'x base':>7} {'drops':>7} {'late-drop':>9} {'host%':>6} "
-            f"{'recover ms':>11}"
+            f"{'stall us':>9} {'recover ms':>11}"
         )
         for s in report.scenarios:
             recover = ("-" if not np.isfinite(s.recovery_s)
@@ -476,7 +486,8 @@ def format_faults(result: FaultStudyResult) -> str:
                 f"{s.p99_s * 1e6:>10.1f} {s.p999_s * 1e6:>10.1f} "
                 f"{s.p99_inflation:>7.2f} {s.dropped:>7d} "
                 f"{s.drops_outside_fault_s:>9d} "
-                f"{s.host_share_fault:>6.0%} {recover:>11}"
+                f"{s.host_share_fault:>6.0%} "
+                f"{s.retry_stall_mean_s * 1e6:>9.2f} {recover:>11}"
             )
         lines.append("")
     return "\n".join(lines).rstrip()

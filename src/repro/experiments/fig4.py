@@ -9,6 +9,7 @@ their SNIC execution platform; the rest use the SNIC CPU.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -21,6 +22,8 @@ from .measurement import (
     operating_point_cache_key,
 )
 from .profiles import ALL_PROFILE_KEYS, FunctionProfile, get_profile
+
+logger = logging.getLogger("repro.fig4")
 
 # Display order mirrors the paper's x-axis: microbenchmarks, software-only
 # functions, then hardware-accelerated functions.
@@ -121,6 +124,8 @@ def run_fig4(
                          fn=compute_operating_point, args=args)
             )
             cache_keys.append(operating_point_cache_key(*args))
+    logger.info("fig4: measuring %d operating points (%d functions, jobs=%d)",
+                len(units), len(pairs), executor.jobs)
     points = map_cached(executor, units, cache_keys)
 
     rows: List[Fig4Row] = []

@@ -9,6 +9,7 @@ host's rule-set-dependent latency wall (file_image's p99 explodes past
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
@@ -20,6 +21,8 @@ from ..core.rng import RandomStreams
 from ..core.units import gbps_to_bytes_per_second
 from .measurement import ACCEL_PLATFORM, run_fixed_rate
 from .profiles import FunctionProfile, get_profile
+
+logger = logging.getLogger("repro.fig5")
 
 DEFAULT_RATES_GBPS = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100)
 HOST_CORE_COUNTS = (1, 4, 8)
@@ -162,6 +165,8 @@ def run_fig5(
                           n_requests, seed)
         for ruleset, platform, _, cores in specs
     ]
+    logger.info("fig5: measuring %d curves x %d rates (jobs=%d)",
+                len(units), len(rates_gbps), executor.jobs)
     series = map_cached(executor, units, keys)
 
     figure: Dict[str, List[Fig5Series]] = {ruleset: [] for ruleset in rulesets}

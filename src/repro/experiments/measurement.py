@@ -31,10 +31,11 @@ from ..calibration import (
     POWER,
     base_rtt_sampler,
 )
-from ..core import instrument
+from ..core import instrument, trace
 from ..core.cache import cache_key, get_cache
 from ..core.metrics import RunMetrics
 from ..core.queueing import (
+    COMP_STACK_RTT,
     outcome_to_metrics,
     simulate_batch_server,
     simulate_sharded,
@@ -147,6 +148,28 @@ def run_fixed_rate(
 ) -> RunMetrics:
     """Offer ``rate`` requests/s and measure (the inner loop of a sweep)."""
     instrument.increment(instrument.PROBES)
+    if not trace.TRACING:
+        return _run_fixed_rate(profile, platform, rate, streams, n_requests)
+    # Each probe records onto its own sub-track, so its queue-depth
+    # series and the probe summary stay grouped in the trace viewer.
+    with trace.track(trace.subtrack(f"{profile.key}:{platform}:{rate:.6g}")):
+        trace.instant("probe", trace.PROBE, function=profile.key,
+                      platform=platform, rate=rate, n_requests=n_requests)
+        metrics = _run_fixed_rate(profile, platform, rate, streams, n_requests)
+        trace.instant("probe.done", trace.PROBE,
+                      completed_rate=metrics.completed_rate,
+                      p99_us=metrics.latency_p99 * 1e6,
+                      dropped=metrics.dropped)
+        return metrics
+
+
+def _run_fixed_rate(
+    profile: FunctionProfile,
+    platform: str,
+    rate: float,
+    streams: RandomStreams,
+    n_requests: int,
+) -> RunMetrics:
     if platform == ACCEL_PLATFORM:
         return _run_accelerator(profile, rate, streams, n_requests)
     if platform not in CPU_PLATFORMS:
@@ -195,7 +218,8 @@ def _add_fixed_latency(outcome, profile, platform, rng):
         cost = calibration.stacks[stack]
         extra = extra + base_rtt_sampler(cost)(rng, n)
     adder = profile.latency_extra.get(platform, 0.0)
-    outcome.sojourns = outcome.sojourns + extra + adder
+    # add_component keeps sojourns and the attribution arrays in sync.
+    outcome.add_component(COMP_STACK_RTT, extra + adder)
     return outcome
 
 

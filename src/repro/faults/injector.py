@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Protocol, runtime_checkable
 
+from ..core import trace
 from ..core.engine import Simulator
 from .schedule import ActiveFault, FaultTimeline
 
@@ -76,6 +77,19 @@ class FaultInjector:
                 phase=phase,
             )
         )
+        if trace.TRACING:
+            if phase == "begin":
+                trace.instant(episode.spec.name, trace.FAULT, ts=self.sim.now,
+                              track=trace.subtrack("faults"),
+                              target=episode.spec.target, phase="begin")
+            else:
+                # One span per episode, stamped at recovery so its extent
+                # is the actually-experienced outage.
+                trace.complete(episode.spec.name, trace.FAULT,
+                               ts=episode.start_s,
+                               dur=max(0.0, self.sim.now - episode.start_s),
+                               track=trace.subtrack("faults"),
+                               target=episode.spec.target)
         for target in self._targets.get(episode.spec.target, []):
             if phase == "begin":
                 target.fault_begin(episode)

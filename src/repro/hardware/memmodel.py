@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..core import trace
 from .specs import BLUEFIELD2_CPU, CpuSpec, HOST_CPU, MemorySpec
 
 # Representative load-to-use latencies (cycles).
@@ -95,6 +96,12 @@ class MemoryHierarchy:
             # Independent accesses overlap; a memory-level-parallelism
             # factor amortizes latency across in-flight misses.
             total /= min(4.0, max(self.memory.channels, 1))
+        if trace.TRACING:
+            trace.instant("mem.access", trace.PROBE,
+                          track=trace.subtrack("memmodel"),
+                          cpu=self.cpu.model,
+                          working_set=pattern.working_set_bytes,
+                          cycles=round(total, 3))
         return total
 
     def streaming_cycles_per_byte(self) -> float:

@@ -24,6 +24,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..core import trace
 from ..core.engine import Simulator
 from ..core.units import gbps_to_bytes_per_second
 from .packet import Packet
@@ -143,14 +144,23 @@ class Link:
         if self.down:
             self.lost += 1
             self.flap_lost += 1
+            if trace.TRACING:
+                trace.instant("link.drop", trace.NETSTACK, ts=self.sim.now,
+                              track=trace.subtrack("link"), reason="flap")
             return
         if self.loss_model is not None and self.rng is not None:
             if self.loss_model.lost(self.rng):
                 self.lost += 1
+                if trace.TRACING:
+                    trace.instant("link.drop", trace.NETSTACK, ts=self.sim.now,
+                                  track=trace.subtrack("link"), reason="burst")
                 return
         if self.loss_probability and self.rng is not None:
             if self.rng.random() < self.loss_probability:
                 self.lost += 1
+                if trace.TRACING:
+                    trace.instant("link.drop", trace.NETSTACK, ts=self.sim.now,
+                                  track=trace.subtrack("link"), reason="loss")
                 return
         serialization = packet.wire_bytes / self.bytes_per_second
         start = max(self.sim.now, self._busy_until)
@@ -158,6 +168,10 @@ class Link:
         arrival_delay = (start - self.sim.now) + serialization + self.propagation_s
         if self.jitter_s and self.rng is not None:
             arrival_delay += float(self.rng.uniform(0.0, self.jitter_s))
+        if trace.TRACING:
+            trace.complete("link.tx", trace.NETSTACK, ts=start,
+                           dur=serialization, track=trace.subtrack("link"),
+                           wire_bytes=packet.wire_bytes)
         event = self.sim.timeout(arrival_delay, packet)
 
         def _deliver(fired) -> None:

@@ -12,6 +12,7 @@ import itertools
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
+from ..core import trace
 from ..core.engine import Event, Simulator
 from .link import Link
 from .packet import PROTO_UDP, Packet
@@ -82,6 +83,11 @@ class UdpSocket:
             return
         if len(self._queue) >= self.endpoint.receive_queue_packets:
             self.overflow_drops += 1
+            if trace.TRACING:
+                trace.instant("udp.overflow", trace.NETSTACK,
+                              ts=self.endpoint.sim.now,
+                              track=trace.subtrack("udp"),
+                              port=self.port, queued=len(self._queue))
             return
         self._queue.append(packet)
 

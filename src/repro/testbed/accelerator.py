@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from ..calibration import ACCELERATORS, AcceleratorCalibration
+from ..core import trace
 from ..core.engine import Event, Simulator
 from ..core.resources import Store
 
@@ -106,6 +107,15 @@ class AcceleratorDevice:
             results = [self._executor(buffer) for buffer in job.buffers]
             self.jobs_completed += 1
             self.bytes_processed += job.total_bytes
+            if trace.TRACING:
+                trace.complete(
+                    f"{self.engine}.job", trace.ACCEL_BATCH,
+                    ts=self.sim.now - service, dur=service,
+                    track=trace.subtrack(self.engine),
+                    buffers=len(job.buffers), job_bytes=job.total_bytes,
+                    queue_wait_us=round(
+                        (self.sim.now - service - job.submitted_at) * 1e6, 3),
+                )
             job.completion.trigger(
                 JobResult(
                     results=results,

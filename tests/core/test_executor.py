@@ -8,9 +8,11 @@ bytes whether they run in-process or in a worker pool.
 
 from __future__ import annotations
 
+import io
+
 import pytest
 
-from repro.core import instrument
+from repro.core import instrument, trace
 from repro.core.cache import ResultCache, cache_key, configure
 from repro.core.executor import (
     ParallelExecutor,
@@ -35,14 +37,23 @@ def _fresh_cache():
     """Each test gets an empty in-memory cache and zeroed counters."""
     configure(ResultCache())
     instrument.reset()
+    trace.disable()
     yield
     configure(ResultCache())
     instrument.reset()
+    trace.disable()
 
 
 # Module-level so it pickles for the process pool.
 def _square(value):
     return value * value
+
+
+def _bump_dotted_counters(n):
+    """A unit that increments arbitrary dotted-name counters (PR 3)."""
+    instrument.increment("sim.events_fired", n)
+    instrument.increment("custom.widget.count", 2 * n)
+    return n
 
 
 def _unit_seeded_draw(name, seed):
@@ -123,6 +134,52 @@ class TestCounterMerging:
         parallel_probes = run(2)
         assert serial_probes > 0
         assert parallel_probes == serial_probes
+
+    def test_dotted_counters_merge_like_builtin_ones(self):
+        """Counters take any dotted name; worker deltas merge identically."""
+        units = [WorkUnit(name=f"bump{i}", fn=_bump_dotted_counters,
+                          args=(i + 1,)) for i in range(4)]
+
+        def run(jobs):
+            instrument.reset()
+            ParallelExecutor(jobs=jobs).map(units)
+            return (instrument.value("sim.events_fired"),
+                    instrument.value("custom.widget.count"))
+
+        assert run(1) == (10, 20)
+        assert run(2) == (10, 20)
+
+
+def _trace_jsonl_for_jobs(jobs):
+    """Run a tiny traced fig4 and serialize the buffer to JSONL bytes."""
+    instrument.reset()
+    configure(ResultCache())
+    rec = trace.enable(metrics_interval_s=1e-3)
+    try:
+        run_fig4(keys=CHEAP_KEYS, samples=SAMPLES, n_requests=N_REQUESTS,
+                 streams=RandomStreams(SEED), jobs=jobs)
+        buffer = io.StringIO()
+        trace.export_jsonl(buffer, rec)
+        return buffer.getvalue(), rec.appended, rec.dropped
+    finally:
+        trace.disable()
+
+
+class TestTraceDeterminism:
+    def test_jsonl_byte_identical_jobs_1_vs_4(self):
+        """The flight recorder is part of the --jobs contract: traces of
+        the same study serialize to identical bytes at any job count."""
+        serial, appended_1, dropped_1 = _trace_jsonl_for_jobs(1)
+        parallel, appended_4, dropped_4 = _trace_jsonl_for_jobs(4)
+        assert serial  # non-empty: the study actually traced
+        assert serial == parallel
+        assert appended_1 == appended_4
+        assert dropped_1 == dropped_4
+
+    def test_repeated_serial_runs_identical(self):
+        first, _, _ = _trace_jsonl_for_jobs(1)
+        second, _, _ = _trace_jsonl_for_jobs(1)
+        assert first == second
 
 
 class TestFig4Equivalence:

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
+from repro import cli
 from repro.cli import build_parser, main
+from repro.core import trace
 
 
 class TestParser:
@@ -15,7 +20,8 @@ class TestParser:
         }
         assert {"fig4", "fig5", "fig6", "fig7", "table4", "table5",
                 "observations", "tables", "strategy1", "modes",
-                "sensitivity", "microburst", "report", "faults"} <= actions
+                "sensitivity", "microburst", "report", "faults",
+                "trace"} <= actions
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -38,6 +44,35 @@ class TestParser:
     def test_cache_dir_flag(self):
         args = build_parser().parse_args(["--cache-dir", "/tmp/c", "fig4"])
         assert args.cache_dir == "/tmp/c"
+
+    def test_trace_flags_before_or_after_verb(self):
+        before = build_parser().parse_args(["--trace-dir", "/tmp/t", "fig4"])
+        assert before.trace_dir == "/tmp/t"
+        after = build_parser().parse_args(["fig4", "--trace-dir", "/tmp/t"])
+        assert after.trace_dir == "/tmp/t"
+        assert build_parser().parse_args(["fig4"]).trace_dir is None
+        assert build_parser().parse_args(["fig4", "--trace"]).trace
+
+    def test_trace_verb_flags(self):
+        args = build_parser().parse_args(["trace", "fig4", "--smoke"])
+        assert args.command == "trace"
+        assert args.experiment == "fig4"
+        assert args.smoke
+
+    def test_trace_verb_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "table4"])
+
+    def test_log_level_flag(self):
+        args = build_parser().parse_args(["--log-level", "debug", "fig7"])
+        assert args.log_level == "debug"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "fig7"])
+
+    def test_metrics_interval_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--metrics-interval", "0", "fig7"])
+        capsys.readouterr()
 
     def test_every_verb_help_exits_zero(self, capsys):
         parser = build_parser()
@@ -130,3 +165,70 @@ class TestCheapCommands:
         text = target.read_text()
         assert "paper vs. measured" in text
         assert "| Fig4 |" in text
+        assert "Latency attribution" in text
+
+
+class TestTraceVerb:
+    def test_trace_fig4_smoke_writes_valid_files(self, tmp_path, capsys):
+        code = main(["--samples", "20", "--requests", "600",
+                     "trace", "fig4", "--smoke", "--trace-dir",
+                     str(tmp_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert jsonl.exists() and chrome.exists()
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        for line in lines[:50]:
+            event = json.loads(line)
+            assert {"name", "cat", "ph", "track", "ts"} <= set(event)
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "M" in phases and ("X" in phases or "i" in phases)
+        assert "trace" in captured.err  # footer shows trace stats
+        # Recorder does not leak into the next invocation.
+        assert trace.recorder() is None
+
+    def test_trace_flag_on_existing_verb(self, tmp_path, capsys):
+        code = main(["--samples", "60", "--requests", "3000",
+                     "--trace-dir", str(tmp_path), "table4"])
+        assert code == 0
+        capsys.readouterr()
+        assert (tmp_path / "trace.jsonl").exists()
+
+    def test_untraced_run_leaves_recorder_off(self, capsys):
+        assert main(["fig7"]) == 0
+        capsys.readouterr()
+        assert not trace.enabled()
+
+
+class TestFooterOnFailure:
+    def test_footer_and_trace_survive_a_failing_verb(self, tmp_path,
+                                                     monkeypatch, capsys):
+        def boom(args, streams):
+            raise RuntimeError("verb exploded mid-study")
+
+        monkeypatch.setattr(cli, "_dispatch", boom)
+        with pytest.raises(RuntimeError, match="verb exploded"):
+            main(["--trace-dir", str(tmp_path), "fig7"])
+        err = capsys.readouterr().err
+        assert "probes 0" in err  # the footer still printed
+        assert (tmp_path / "trace.jsonl").exists()
+        assert not trace.enabled()  # and the recorder was torn down
+
+
+class TestLogging:
+    def test_log_level_configures_repro_hierarchy(self, capsys):
+        assert main(["--log-level", "info", "--samples", "20",
+                     "--requests", "600", "fig4"]) == 0
+        err = capsys.readouterr().err
+        assert "INFO repro.fig4" in err
+        assert "measuring" in err
+
+    def test_default_level_suppresses_info(self, capsys):
+        assert main(["--samples", "20", "--requests", "600", "fig4"]) == 0
+        err = capsys.readouterr().err
+        assert "INFO repro.fig4" not in err
+        assert logging.getLogger("repro").level == logging.WARNING
