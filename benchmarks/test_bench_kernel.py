@@ -13,8 +13,14 @@ import pytest
 from conftest import _RECORDS, mean_seconds, record_bench
 
 from repro.core import Resource, Simulator
-from repro.core import trace
-from repro.core.queueing import simulate_gg1
+from repro.core import instrument, trace
+from repro.core.queueing import (
+    bounded_waits,
+    lindley_waits,
+    simulate_batch_server,
+    simulate_gg1,
+)
+from repro.core.rng import RandomStreams
 from repro.functions.compression import deflate
 from repro.functions.regex.rulesets import compile_ruleset
 from repro.workloads import make_compression_input
@@ -39,7 +45,10 @@ def test_event_kernel_throughput(benchmark):
 
     events = benchmark(run)
     seconds = mean_seconds(benchmark)
+    stats = benchmark.stats.stats
     record_bench("kernel", "event_kernel", seconds_mean=seconds,
+                 seconds_median=float(stats.median),
+                 rounds=int(stats.rounds),
                  events=int(events),
                  events_per_sec=events / seconds if seconds else None)
 
@@ -55,8 +64,84 @@ def test_lindley_fast_path(benchmark):
         )
 
     benchmark(run)
-    record_bench("kernel", "lindley_fast_path",
-                 seconds_mean=mean_seconds(benchmark), requests=20_000)
+    seconds = mean_seconds(benchmark)
+    record_bench("kernel", "lindley_fast_path", seconds_mean=seconds,
+                 requests=20_000,
+                 requests_per_sec=20_000 / seconds if seconds else None)
+
+
+def test_lindley_vectorized(benchmark):
+    """The bare closed-form Lindley kernel (no RNG, no drop logic)."""
+    rng = np.random.default_rng(1)
+    gaps = rng.exponential(1e-6, size=20_000)
+    services = rng.exponential(8e-7, size=20_000)
+
+    def run():
+        return lindley_waits(gaps, services)
+
+    benchmark(run)
+    seconds = mean_seconds(benchmark)
+    record_bench("kernel", "lindley_vectorized", seconds_mean=seconds,
+                 requests=20_000,
+                 requests_per_sec=20_000 / seconds if seconds else None)
+
+
+def test_bounded_buffer(benchmark):
+    """The bounded-buffer drop kernel under real overload (block fixed
+    point with drops in every block)."""
+    rng = np.random.default_rng(2)
+    arrivals = np.cumsum(rng.exponential(1e-6, size=20_000))
+    services = rng.exponential(1.4e-6, size=20_000)  # rho = 1.4: drops
+
+    def run():
+        return bounded_waits(arrivals, services, 1e-5)
+
+    kept, _ = benchmark(run)
+    assert 0 < kept.sum() < 20_000  # the case actually exercises drops
+    seconds = mean_seconds(benchmark)
+    record_bench("kernel", "bounded_buffer", seconds_mean=seconds,
+                 requests=20_000,
+                 requests_per_sec=20_000 / seconds if seconds else None)
+
+
+def test_batch_server(benchmark):
+    """The accelerator batch-server path (searchsorted scheduling)."""
+    rng = np.random.default_rng(3)
+
+    def run():
+        return simulate_batch_server(
+            5e5, 20_000, rng, batch_size=32, batch_timeout=1e-4,
+            setup_time=3e-5, per_item_time=1e-6,
+        )
+
+    benchmark(run)
+    seconds = mean_seconds(benchmark)
+    record_bench("kernel", "batch_server", seconds_mean=seconds,
+                 requests=20_000,
+                 requests_per_sec=20_000 / seconds if seconds else None)
+
+
+def test_sweep_probe_count(benchmark):
+    """Warm-started vs cold sweep: record how many probes the analytic
+    estimate saves on a fig4 smoke pair (the benchmark clock times the
+    warm search; the interesting numbers are the probe counts)."""
+    from repro.experiments.measurement import sweep_operating_rate
+    from repro.experiments.profiles import get_profile
+
+    profile = get_profile("udp:64", samples=60)
+    instrument.reset()
+    warm = benchmark.pedantic(
+        sweep_operating_rate, args=(profile, "host", RandomStreams(1)),
+        kwargs={"n_requests": 20_000, "warm": True}, rounds=1, iterations=1)
+    saved = instrument.value(instrument.PROBES_SAVED)
+    cold = sweep_operating_rate(profile, "host", RandomStreams(1),
+                                n_requests=20_000, warm=False)
+    record_bench("kernel", "sweep_probes",
+                 probes_warm=len(warm.probes), probes_cold=len(cold.probes),
+                 probes_saved=saved,
+                 max_rate_warm=warm.max_rate, max_rate_cold=cold.max_rate)
+    assert len(warm.probes) < len(cold.probes)
+    assert saved > 0
 
 
 def test_trace_disabled_overhead(benchmark):
@@ -65,10 +150,15 @@ def test_trace_disabled_overhead(benchmark):
     Runs the same kernel workload as ``test_event_kernel_throughput``
     with tracing disabled and guards against the untraced kernel number
     recorded earlier in this session (falling back to the machine's last
-    ``BENCH_kernel.json``).  The tolerance is deliberately loose (4x) —
-    this is a tripwire for accidental hot-path instrumentation (e.g.
-    emitting events without the ``trace.TRACING`` guard), not a
-    microbenchmark of machine noise.
+    ``BENCH_kernel.json``).  Both sides of the comparison use the
+    *median* over the harness's repetitions — a single allocator stall or
+    scheduler preemption on a shared CI runner skews a mean for the whole
+    session, while the median needs half the rounds to go bad — and the
+    repetition counts land in the artifact so a flaky verdict can be
+    weighed by how many rounds backed it.  The tolerance is deliberately
+    loose (4x): this is a tripwire for accidental hot-path
+    instrumentation (e.g. emitting events without the ``trace.TRACING``
+    guard), not a microbenchmark of machine noise.
     """
     trace.disable()
 
@@ -88,24 +178,27 @@ def test_trace_disabled_overhead(benchmark):
 
     fired = benchmark(run)
     assert fired > 0
-    seconds = mean_seconds(benchmark)
-    record_bench("kernel", "trace_disabled_overhead", seconds_mean=seconds,
+    stats = benchmark.stats.stats
+    median = float(stats.median)
+    record_bench("kernel", "trace_disabled_overhead",
+                 seconds_mean=mean_seconds(benchmark),
+                 seconds_median=median, rounds=int(stats.rounds),
                  events_fired=int(fired))
 
-    reference = _RECORDS.get("kernel", {}).get("event_kernel",
-                                               {}).get("seconds_mean")
-    if not reference:
+    baseline = _RECORDS.get("kernel", {}).get("event_kernel", {})
+    if not baseline:
         baseline_path = (Path(__file__).resolve().parent.parent
                          / "BENCH_kernel.json")
         if not baseline_path.exists():
             pytest.skip("no event_kernel baseline recorded on this machine")
-        reference = (json.loads(baseline_path.read_text())
-                     .get("event_kernel", {}).get("seconds_mean"))
+        baseline = json.loads(baseline_path.read_text()).get("event_kernel", {})
+    reference = baseline.get("seconds_median") or baseline.get("seconds_mean")
     if not reference:
-        pytest.skip("baseline lacks event_kernel seconds_mean")
-    assert seconds < 4.0 * reference, (
-        f"disabled-trace kernel run took {seconds:.4f}s vs baseline "
-        f"{reference:.4f}s — tracing is leaking into the hot path"
+        pytest.skip("baseline lacks event_kernel timings")
+    assert median < 4.0 * reference, (
+        f"disabled-trace kernel run took {median:.4f}s (median of "
+        f"{stats.rounds} rounds) vs baseline {reference:.4f}s — tracing is "
+        f"leaking into the hot path"
     )
 
 

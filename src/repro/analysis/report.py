@@ -9,9 +9,12 @@ outputs.  ``python -m repro report`` writes it to EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..core.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.executor import ParallelExecutor
 from ..experiments import (
     format_faults,
     format_verdicts,
@@ -203,6 +206,12 @@ def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
         "**emergent** = the quantity falls out of the queueing/power/price",
         "models; **deviation** = a known, documented mismatch.",
         "",
+        "The CLI footer's `probes N (M saved)` counts rate probes actually",
+        "simulated; `probe.saved` credits probes a warm-started sweep",
+        "avoided versus the cold search (DESIGN.md §9).  The published",
+        "figures run the fixed cold ladder — saved probes never change a",
+        "measured number, only how fast ad-hoc sweeps converge.",
+        "",
         "| artifact | quantity | paper | measured | status |",
         "|---|---|---|---|---|",
     ]
@@ -282,25 +291,31 @@ def generate_report(
     n_requests: int = 12_000,
     streams: Optional[RandomStreams] = None,
     jobs: int = 1,
+    executor: Optional["ParallelExecutor"] = None,
 ) -> str:
     """Measure everything and render the markdown report.
 
     Fig. 4 runs first and populates the operating-point cache; Table 5
     and the fault study request the *same* fidelity and seed, so every
     (function, platform) pair is simulated at most once per report.
-    ``jobs`` parallelizes the independent measurements in each artifact.
+    ``jobs`` parallelizes the independent measurements in each artifact;
+    passing a shared ``executor`` instead reuses one worker pool across
+    every phase of the report.
     """
+    from ..core.executor import ParallelExecutor
+
     streams = streams or RandomStreams(2023)
+    executor = executor or ParallelExecutor(jobs)
     fig4_rows = run_fig4(samples=samples, n_requests=n_requests,
-                         streams=streams, jobs=jobs)
+                         streams=streams, executor=executor)
     fig6_rows = rows_from_fig4(fig4_rows)
     fig5_curves = run_fig5(samples=150, n_requests=8000, streams=streams,
-                           jobs=jobs)
+                           executor=executor)
     table4 = run_table4(samples=samples, n_requests=n_requests, streams=streams)
     table5 = run_table5(samples=samples, n_requests=n_requests, streams=streams)
     fig7 = run_fig7()
     faults = run_faults_study(samples=samples, n_requests=n_requests,
-                              streams=streams, smoke=False, jobs=jobs)
+                              streams=streams, smoke=False, executor=executor)
 
     verdicts = [
         observation_1(fig4_rows),

@@ -34,6 +34,7 @@ from .analysis.tables import format_all_tables
 from .analysis.tco import format_comparison
 from .core import instrument, trace
 from .core.cache import ResultCache, configure
+from .core.executor import ParallelExecutor
 from .core.rng import RandomStreams
 from .experiments import (
     format_fig4,
@@ -165,14 +166,14 @@ def _write_trace_files(trace_dir: str) -> None:
           f"({len(rec)} events, {rec.dropped} dropped)", file=sys.stderr)
 
 
-def _run_trace_experiment(args, streams) -> None:
+def _run_trace_experiment(args, streams, executor) -> None:
     """The ``trace`` verb body: run one experiment under the recorder."""
     if args.experiment == "fig4":
         keys = TRACE_SMOKE_KEYS if args.smoke else None
         samples = min(args.samples, 40) if args.smoke else args.samples
         requests = min(args.requests, 2_500) if args.smoke else args.requests
         kwargs = dict(samples=samples, n_requests=requests, streams=streams,
-                      jobs=args.jobs)
+                      executor=executor)
         if keys is not None:
             kwargs["keys"] = keys
         rows = run_fig4(**kwargs)
@@ -182,7 +183,7 @@ def _run_trace_experiment(args, streams) -> None:
         requests = min(args.requests, 2_500) if args.smoke else args.requests
         rates = (10, 30, 50) if args.smoke else None
         kwargs = dict(samples=samples, n_requests=requests, streams=streams,
-                      jobs=args.jobs)
+                      executor=executor)
         if rates is not None:
             kwargs["rates_gbps"] = rates
         figure = run_fig5(**kwargs)
@@ -192,7 +193,7 @@ def _run_trace_experiment(args, streams) -> None:
 
         print(format_faults(run_faults_study(
             samples=args.samples, n_requests=args.requests, streams=streams,
-            smoke=args.smoke, jobs=args.jobs)))
+            smoke=args.smoke, executor=executor)))
     rec = trace.recorder()
     if rec is not None:
         counts = ", ".join(f"{cat}={n}" for cat, n in
@@ -218,12 +219,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if tracing:
         trace.enable(metrics_interval_s=args.metrics_interval)
     started = time.time()
+    # One executor (one worker pool) for the whole invocation: every
+    # phase of a multi-phase verb reuses the same workers instead of
+    # re-paying pool startup per batch.
+    executor = ParallelExecutor(args.jobs)
     try:
-        return _dispatch(args, streams)
+        return _dispatch(args, streams, executor)
     finally:
         # The footer (and any trace files) must survive a failing verb:
         # a run that died mid-study still reports what it actually did.
         try:
+            executor.close()
             if tracing:
                 _write_trace_files(args.trace_dir or ".")
         finally:
@@ -234,7 +240,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _print_footer(started: float) -> None:
     parts = [
         f"{time.time() - started:.1f}s",
-        f"probes {instrument.value(instrument.PROBES)}",
+        f"probes {instrument.value(instrument.PROBES)}"
+        f" ({instrument.value(instrument.PROBES_SAVED)} saved)",
         f"cache {instrument.value(instrument.CACHE_HITS)} hit / "
         f"{instrument.value(instrument.CACHE_MISSES)} miss",
         f"kernel {instrument.value(instrument.EVENTS_SCHEDULED)} sched / "
@@ -246,12 +253,12 @@ def _print_footer(started: float) -> None:
     print(f"[{' | '.join(parts)}]", file=sys.stderr)
 
 
-def _dispatch(args, streams) -> int:
+def _dispatch(args, streams, executor) -> int:
     if args.command == "fig4":
         from .analysis.plots import fig4_chart
 
         rows = run_fig4(samples=args.samples, n_requests=args.requests,
-                        streams=streams, jobs=args.jobs)
+                        streams=streams, executor=executor)
         print(format_fig4(rows))
         print()
         print(fig4_chart(rows))
@@ -264,7 +271,7 @@ def _dispatch(args, streams) -> int:
         from .analysis.plots import fig5_chart
 
         figure = run_fig5(samples=args.samples, n_requests=args.requests,
-                          streams=streams, jobs=args.jobs)
+                          streams=streams, executor=executor)
         print(format_fig5(figure))
         for ruleset, curves in figure.items():
             print(f"\n[{ruleset}]")
@@ -279,7 +286,7 @@ def _dispatch(args, streams) -> int:
 
         rows = rows_from_fig4(run_fig4(samples=args.samples,
                                        n_requests=args.requests,
-                                       streams=streams, jobs=args.jobs))
+                                       streams=streams, executor=executor))
         print(format_fig6(rows))
         print()
         print(fig6_chart(rows))
@@ -305,9 +312,9 @@ def _dispatch(args, streams) -> int:
                 write_table5_csv(handle, result.comparisons)
     elif args.command == "observations":
         fig4_rows = run_fig4(samples=args.samples, n_requests=args.requests,
-                             streams=streams, jobs=args.jobs)
+                             streams=streams, executor=executor)
         fig5_curves = run_fig5(samples=150, n_requests=8000, streams=streams,
-                               jobs=args.jobs)
+                               executor=executor)
         fig6_rows = rows_from_fig4(fig4_rows)
         verdicts = [
             observation_1(fig4_rows),
@@ -347,10 +354,10 @@ def _dispatch(args, streams) -> int:
 
         print(format_faults(run_faults_study(
             samples=args.samples, n_requests=args.requests, streams=streams,
-            smoke=args.smoke, jobs=args.jobs)))
+            smoke=args.smoke, executor=executor)))
     elif args.command == "report":
         text = generate_report(samples=args.samples, n_requests=args.requests,
-                               streams=streams, jobs=args.jobs)
+                               streams=streams, executor=executor)
         if args.output:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")
@@ -358,7 +365,7 @@ def _dispatch(args, streams) -> int:
         else:
             print(text)
     elif args.command == "trace":
-        _run_trace_experiment(args, streams)
+        _run_trace_experiment(args, streams, executor)
     return 0
 
 

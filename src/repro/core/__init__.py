@@ -1,5 +1,14 @@
 """Simulation kernel, queueing resources, and measurement methodology."""
 
+from .analytic import (
+    batch_capacity,
+    erlang_c,
+    mg1_sojourn_p99,
+    mg1_wait_mean,
+    mmc_wait_mean,
+    sharded_capacity,
+    slo_capacity,
+)
 from .cache import CODE_VERSION, ResultCache, cache_key
 from .closedloop import ClosedLoopResult, simulate_closed_loop
 from .engine import Event, Process, Simulator, SimulationError, Timeout
@@ -18,6 +27,13 @@ from .sweep import SweepResult, find_max_sustainable_rate, rate_response_curve
 from .trace import TraceEvent, TraceRecorder, export_chrome, export_jsonl
 
 __all__ = [
+    "batch_capacity",
+    "erlang_c",
+    "mg1_sojourn_p99",
+    "mg1_wait_mean",
+    "mmc_wait_mean",
+    "sharded_capacity",
+    "slo_capacity",
     "CODE_VERSION",
     "ResultCache",
     "cache_key",

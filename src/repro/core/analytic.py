@@ -1,0 +1,159 @@
+"""Closed-form queueing estimators used to warm-start rate sweeps.
+
+A rate sweep (`core.sweep.find_max_sustainable_rate`) probes a simulator
+at a sequence of offered rates; each probe is cheap but not free, and a
+cold search spends most of its probes discovering the order of magnitude
+of the answer.  Standard queueing theory predicts that answer well
+enough to start the search within a few percent of it:
+
+* **M/M/c** (Erlang C): a ``cores``-way RSS-sharded CPU platform at
+  offered rate R is c independent M/G/1 shards; the aggregate behaves
+  like an M/M/c system whose waiting probability and mean wait have the
+  classic closed forms.
+* **M/G/1** (Pollaczeck–Khinchine): one shard with a general service
+  distribution (mean + squared coefficient of variation) has an exact
+  mean wait and a well-known exponential tail approximation, which
+  gives an analytic p99 — good enough to bracket SLO-constrained
+  sweeps.
+
+These are *estimators*: the sweep still verifies every reported number
+by simulation.  The estimate only decides where probing starts, so a
+bad estimate costs extra probes, never a wrong answer (see
+``find_max_sustainable_rate(warm_start=...)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "erlang_c",
+    "mmc_wait_mean",
+    "mg1_wait_mean",
+    "mg1_sojourn_p99",
+    "sharded_capacity",
+    "batch_capacity",
+    "slo_capacity",
+]
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """P(wait > 0) in an M/M/c system (Erlang's C formula).
+
+    ``offered_load`` is a = lambda / mu in Erlangs; requires a < servers
+    (a stable system).  Computed with the usual recurrence on the
+    Erlang-B blocking probability to stay numerically stable for large
+    ``servers``.
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if offered_load < 0:
+        raise ValueError("offered load must be non-negative")
+    if offered_load >= servers:
+        return 1.0
+    # Erlang B via the stable recurrence B(0) = 1,
+    # B(k) = a B(k-1) / (k + a B(k-1)).
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+def mmc_wait_mean(rate: float, service_mean: float, servers: int) -> float:
+    """Mean queueing wait (seconds) of an M/M/c system; inf if unstable."""
+    if rate <= 0:
+        return 0.0
+    offered = rate * service_mean
+    if offered >= servers:
+        return float("inf")
+    wait_probability = erlang_c(servers, offered)
+    return wait_probability * service_mean / (servers - offered)
+
+
+def mg1_wait_mean(rate: float, service_mean: float, service_scv: float) -> float:
+    """Pollaczek–Khinchine mean wait of an M/G/1 queue; inf if unstable.
+
+    ``service_scv`` is the squared coefficient of variation
+    Var[S] / E[S]^2 (0 deterministic, 1 exponential).
+    """
+    rho = rate * service_mean
+    if rho >= 1.0:
+        return float("inf")
+    return rho * service_mean * (1.0 + service_scv) / (2.0 * (1.0 - rho))
+
+
+def mg1_sojourn_p99(rate: float, service_mean: float, service_scv: float) -> float:
+    """Approximate p99 sojourn of an M/G/1 queue (seconds).
+
+    Uses the standard exponential-tail approximation
+    P(W > t) ~= rho * exp(-t / (W_mean / rho)) with the P-K mean wait,
+    plus the mean service.  An estimator for sweep warm starts, not a
+    reported number.
+    """
+    rho = rate * service_mean
+    if rho >= 1.0:
+        return float("inf")
+    if rho <= 0.0:
+        return service_mean
+    wait_mean = mg1_wait_mean(rate, service_mean, service_scv)
+    tail = 0.01
+    if rho <= tail:
+        return service_mean
+    wait_p99 = (wait_mean / rho) * math.log(rho / tail)
+    return service_mean + max(wait_p99, 0.0)
+
+
+def sharded_capacity(service_mean: float, cores: int) -> float:
+    """Saturation rate of ``cores`` RSS-sharded servers (requests/s)."""
+    if service_mean <= 0:
+        raise ValueError("service_mean must be positive")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    return cores / service_mean
+
+
+def batch_capacity(setup_time: float, per_item_time: float, max_batch: int) -> float:
+    """Saturation rate of a batch engine running full batches.
+
+    At saturation every batch is full, so the setup cost amortizes over
+    ``max_batch`` items: rate = 1 / (per_item + setup / max_batch).
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    denominator = per_item_time + setup_time / max_batch
+    if denominator <= 0:
+        raise ValueError("degenerate batch timing")
+    return 1.0 / denominator
+
+
+def slo_capacity(
+    service_mean: float,
+    service_scv: float,
+    cores: int,
+    slo_p99: Optional[float],
+    floor_fraction: float = 1e-3,
+) -> float:
+    """Highest rate whose *analytic* p99 sojourn meets ``slo_p99``.
+
+    Bisects the monotone M/G/1 tail approximation per shard (offered
+    rate splits evenly over ``cores``).  With no SLO this is just the
+    stability capacity.  Pure arithmetic — no simulation probes.
+    """
+    capacity = sharded_capacity(service_mean, cores)
+    if slo_p99 is None:
+        return capacity
+    if mg1_sojourn_p99(capacity * floor_fraction / cores, service_mean,
+                       service_scv) > slo_p99:
+        # Even a near-idle system misses the SLO (service itself is too
+        # slow); report the floor so the sweep can verify and give up.
+        return capacity * floor_fraction
+    lo, hi = capacity * floor_fraction, capacity
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if mg1_sojourn_p99(mid / cores, service_mean, service_scv) <= slo_p99:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -31,7 +31,9 @@ from . import instrument, trace
 # Bump whenever measurement semantics change (models, stream naming,
 # ladder shape, metrics definitions): old cached results become garbage.
 # 2026.08.1: outcome metrics carry latency-attribution extras (PR 3).
-CODE_VERSION = "2026.08.1"
+# 2026.08.2: vectorized queueing kernels (closed-form Lindley, block
+#   drop fixed point, searchsorted batching) change float rounding.
+CODE_VERSION = "2026.08.2"
 
 _PRIMITIVES = (str, int, float, bool, bytes, type(None))
 

@@ -28,7 +28,9 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -90,6 +92,19 @@ def _invoke(
         trace.disable()
 
 
+def _invoke_chunk(
+    units: Sequence[WorkUnit], trace_spec: Optional[Dict[str, Any]] = None
+) -> List[Tuple[Any, Dict[str, int], Optional[List[trace.TraceEvent]]]]:
+    """Run several units in one worker round trip (chunked submission).
+
+    Each unit still gets its own counter snapshot and (when tracing) its
+    own fresh recorder, so the per-unit tuples shipped back are exactly
+    what per-unit submission would have produced — chunking changes the
+    IPC count, never the payload.
+    """
+    return [_invoke(unit, trace_spec) for unit in units]
+
+
 def _emit_unit_profile(unit: WorkUnit, events: int, delta: Dict[str, int]) -> None:
     """Per-work-unit profile instant on the parent's current track.
 
@@ -115,21 +130,82 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return max(1, int(jobs))
 
 
+# Estimated total batch work (seconds) below which fork + IPC overhead
+# beats any parallel win and the batch runs serially instead.
+MIN_PARALLEL_SECONDS = 0.05
+# Chunked submission: aim for this many chunks per worker, balancing
+# per-task IPC against load-balance granularity.
+_CHUNKS_PER_WORKER = 4
+# EWMA smoothing for the per-unit runtime estimate behind the bypass.
+_EWMA_ALPHA = 0.5
+
+
 class ParallelExecutor:
     """Runs batches of :class:`WorkUnit` with a fixed worker budget.
 
     ``jobs=1`` (the default) executes in-process, in order — the output
     is the reference a parallel run must reproduce.  ``jobs>1`` fans the
-    batch over worker processes; results always come back in submission
-    order.  Batches whose units cannot be pickled (e.g. closures handed
-    to :func:`~repro.core.sweep.rate_response_curve`) fall back to the
-    serial path instead of failing.
+    batch over a worker-process pool; results always come back in
+    submission order.  Batches whose units cannot be pickled (e.g.
+    closures handed to :func:`~repro.core.sweep.rate_response_curve`)
+    fall back to the serial path instead of failing.
+
+    Three things keep ``--jobs`` a speedup instead of a slowdown:
+
+    * **Pool reuse** — the process pool is created once (lazily) and
+      reused across every ``map`` call until :meth:`close`, so a study
+      with many phases pays the fork cost once, not per phase.
+    * **Chunked submission** — a batch is shipped as a handful of
+      chunks per worker rather than one IPC round trip per unit.
+    * **Serial bypass** — when the machine has one usable core, or an
+      EWMA of observed per-unit runtime says the whole batch is worth
+      less than ~50 ms, forking cannot win and the batch runs in
+      process (``serial_bypass=False`` disables the heuristic, for
+      tests and benchmarks that must exercise the pool).
+
+    The executor is a context manager; exiting (or :meth:`close`)
+    shuts the pool down.  A worker that dies mid-batch (OOM-killed,
+    crashed interpreter) raises ``BrokenProcessPool`` inside the pool;
+    work units are pure, so the batch transparently reruns serially and
+    a fresh pool is built on the next parallel call.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, serial_bypass: bool = True):
         self.jobs = resolve_jobs(jobs)
+        self.serial_bypass = serial_bypass
         self.units_run = 0
         self.fallbacks = 0
+        self.bypasses = 0
+        self.pool_restarts = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._seconds_per_unit: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (the executor stays usable: a later
+        parallel ``map`` simply builds a fresh pool)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            workers = self._effective_workers()
+            logger.debug("starting process pool with %d workers", workers)
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def _effective_workers(self) -> int:
+        return min(self.jobs, os.cpu_count() or 1)
+
+    # -- execution ----------------------------------------------------------
 
     def map(self, units: Sequence[WorkUnit]) -> List[Any]:
         units = list(units)
@@ -140,9 +216,49 @@ class ParallelExecutor:
             logger.debug("batch of %d units is not picklable; running serially",
                          len(units))
             serial = True
+        if not serial and self.serial_bypass and self._should_bypass(len(units)):
+            self.bypasses += 1
+            serial = True
+        started = time.perf_counter()
         if serial:
-            return self._map_serial(units)
-        return self._map_parallel(units)
+            results = self._map_serial(units)
+            self._observe(time.perf_counter() - started, len(units), workers=1)
+        else:
+            results = self._map_parallel(units)
+            self._observe(time.perf_counter() - started, len(units),
+                          workers=self._effective_workers())
+        return results
+
+    def _should_bypass(self, n_units: int) -> bool:
+        if self._effective_workers() <= 1:
+            logger.debug("single usable core; running %d units serially",
+                         n_units)
+            return True
+        if (self._seconds_per_unit is not None
+                and self._seconds_per_unit * n_units < MIN_PARALLEL_SECONDS):
+            logger.debug(
+                "batch of %d units estimated at %.1f ms total; below the "
+                "%.0f ms fork threshold, running serially", n_units,
+                self._seconds_per_unit * n_units * 1e3,
+                MIN_PARALLEL_SECONDS * 1e3)
+            return True
+        return False
+
+    def _observe(self, elapsed: float, n_units: int, workers: int) -> None:
+        """Fold a batch timing into the per-unit runtime EWMA.
+
+        A parallel batch's wall time is divided across ``workers``, so
+        the per-unit cost it implies is ``elapsed * workers / n``.  Only
+        the bypass heuristic reads this — never results.
+        """
+        if n_units <= 0:
+            return
+        sample = elapsed * workers / n_units
+        if self._seconds_per_unit is None:
+            self._seconds_per_unit = sample
+        else:
+            self._seconds_per_unit = (_EWMA_ALPHA * sample
+                                      + (1 - _EWMA_ALPHA) * self._seconds_per_unit)
 
     def _map_serial(self, units: Sequence[WorkUnit]) -> List[Any]:
         if not trace.TRACING:
@@ -165,15 +281,32 @@ class ParallelExecutor:
         if recorder is not None:
             trace_spec = {"capacity": recorder.capacity,
                           "metrics_interval_s": recorder.metrics_interval_s}
-        workers = min(self.jobs, len(units))
-        logger.debug("fanning %d units over %d workers", len(units), workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_invoke, unit, trace_spec) for unit in units]
-            results: List[Any] = []
-            # Merging in submission order reproduces the serial event
-            # sequence (and counter totals) byte for byte.
-            for unit, future in zip(units, futures):
-                result, delta, events = future.result()
+        workers = self._effective_workers()
+        chunk_size = max(1, -(-len(units) // (workers * _CHUNKS_PER_WORKER)))
+        chunks = [list(units[i:i + chunk_size])
+                  for i in range(0, len(units), chunk_size)]
+        logger.debug("fanning %d units over %d workers (%d chunks)",
+                     len(units), workers, len(chunks))
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_invoke_chunk, chunk, trace_spec)
+                       for chunk in chunks]
+            # Collect everything BEFORE merging any counter/trace deltas:
+            # if a worker dies mid-batch nothing has been folded in yet,
+            # so the serial rerun below cannot double-count.
+            outcomes = [future.result() for future in futures]
+        except BrokenProcessPool:
+            self.pool_restarts += 1
+            logger.warning("worker pool died mid-batch; rerunning %d units "
+                           "serially (next parallel call gets a new pool)",
+                           len(units))
+            self.close()
+            return self._map_serial(units)
+        results: List[Any] = []
+        # Merging in submission order reproduces the serial event
+        # sequence (and counter totals) byte for byte.
+        for chunk, chunk_outcomes in zip(chunks, outcomes):
+            for unit, (result, delta, events) in zip(chunk, chunk_outcomes):
                 instrument.merge(delta)
                 if events is not None and recorder is not None:
                     recorder.extend(events)

@@ -15,6 +15,10 @@ from __future__ import annotations
 from typing import Dict
 
 PROBES = "probes"
+# Probes an analytic warm start avoided versus the equivalent cold
+# search (an estimate: the cold control flow replayed against the found
+# rate) — see core.sweep.find_max_sustainable_rate(warm_start=...).
+PROBES_SAVED = "probe.saved"
 CACHE_HITS = "cache_hits"
 CACHE_MISSES = "cache_misses"
 # Kernel flight-recorder counters (PR 3): folded by Simulator.run() and

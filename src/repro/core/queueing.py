@@ -17,6 +17,8 @@ percentile/throughput metrics as the event-driven path are computed.
 
 from __future__ import annotations
 
+import threading
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
@@ -40,13 +42,60 @@ COMPONENTS = (COMP_QUEUE_WAIT, COMP_SERVICE, COMP_BATCH_WAIT,
               COMP_STACK_RTT, COMP_STALL)
 
 
+# Reusable per-thread scratch for the consumed `increments` input of
+# :func:`_seeded_lindley`.  Fresh 150+ KiB allocations cost real page
+# faults every probe; the scratch never escapes a kernel call, so
+# reusing it is safe (per-thread: no sharing across concurrent callers).
+_scratch = threading.local()
+
+
+def _increment_buffer(n: int) -> np.ndarray:
+    buf = getattr(_scratch, "buf", None)
+    if buf is None or len(buf) < n:
+        buf = np.empty(max(n, 1024))
+        _scratch.buf = buf
+    return buf[:n]
+
+
 def lindley_waits(interarrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
     """Waiting times (time in queue, excluding service) of a G/G/1 queue.
 
     ``interarrivals[i]`` is the gap before customer i (the first gap is from
     t=0); ``services[i]`` is customer i's service demand.
+
+    Exact O(n) closed form of Lindley's recursion, no Python loop:
+    with increments X_i = services[i-1] - interarrivals[i] and partial
+    sums C_n = sum_{k<=n} X_k (C_0 = 0),
+
+        W_n = max(0, W_{n-1} + X_n) = C_n - min_{k<=n} C_k.
+
+    ``lindley_waits_reference`` is the retained scalar oracle; the
+    property tests assert element-wise agreement to 1e-12.
     """
+    interarrivals = np.asarray(interarrivals, dtype=float)
+    services = np.asarray(services, dtype=float)
     if interarrivals.shape != services.shape:
+        raise ValueError("interarrivals and services must have equal length")
+    n = len(services)
+    if n == 0:
+        return np.empty(0)
+    increments = _increment_buffer(n)
+    increments[0] = 0.0
+    np.subtract(services[:-1], interarrivals[1:], out=increments[1:])
+    # In-place cumsum and fused subtraction: one fresh buffer total.
+    # C_1 = 0 keeps C_0 = 0 inside the running minimum, so the
+    # subtraction is the max(0, .) clamp of the sequential recursion.
+    cumulative = np.cumsum(increments, out=increments)
+    floor = np.minimum.accumulate(cumulative)
+    np.subtract(cumulative, floor, out=floor)
+    return floor
+
+
+def lindley_waits_reference(
+    interarrivals: np.ndarray, services: np.ndarray
+) -> np.ndarray:
+    """Scalar Lindley recursion: the oracle the vectorized kernel must match."""
+    if np.shape(interarrivals) != np.shape(services):
         raise ValueError("interarrivals and services must have equal length")
     n = len(services)
     waits = np.empty(n)
@@ -56,6 +105,187 @@ def lindley_waits(interarrivals: np.ndarray, services: np.ndarray) -> np.ndarray
             wait = max(0.0, wait + services[i - 1] - interarrivals[i])
         waits[i] = wait
     return waits
+
+
+def _seeded_lindley(increments: np.ndarray, initial: float) -> np.ndarray:
+    """Lindley waits of one block given the entering backlog ``initial``.
+
+    ``increments[j]`` is the backlog change at block element j *before*
+    the max(0, .) clamp; the closed form extends to a seeded start:
+
+        w_j = C_j - min(min_{0<=k<=j} C_k, -initial)    (C_0 = 0).
+
+    Preconditions (both call sites guarantee them): ``initial >= 0`` and
+    ``increments[0] <= 0``, so C_1 <= 0 keeps C_0 = 0 inside the running
+    minimum for free.  ``increments`` is consumed (cumsum'd in place).
+    """
+    cumulative = np.cumsum(increments, out=increments)
+    floor = np.minimum.accumulate(cumulative)
+    if initial > 0.0:
+        np.minimum(floor, -initial, out=floor)
+    np.subtract(cumulative, floor, out=floor)
+    return floor
+
+
+# Bounded-buffer kernel tuning: block width of the optimistic fixed
+# point, and how many refinement passes a block gets before it falls
+# back to the exact scalar recursion (heavy sustained overload).
+_DROP_BLOCK = 4096
+_DROP_MAX_PASSES = 8
+
+
+def bounded_waits_reference(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    queue_limit: float,
+    initial_backlog: float = 0.0,
+    previous_arrival: float = 0.0,
+) -> tuple:
+    """Scalar bounded-buffer recursion (the drop-path oracle).
+
+    Walks arrivals in order, draining ``backlog`` by elapsed time; an
+    arrival finding more than ``queue_limit`` seconds of unfinished work
+    is dropped, a kept arrival waits the backlog and adds its service.
+    Returns ``(kept_mask, waits_of_kept, backlog, last_arrival)`` so
+    the vectorized kernel can resume a block from this exact state.
+    """
+    n = len(arrivals)
+    kept = np.zeros(n, dtype=bool)
+    waits = []
+    backlog = initial_backlog
+    previous = previous_arrival
+    for i in range(n):
+        arrival = arrivals[i]
+        backlog = max(0.0, backlog - (arrival - previous))
+        previous = arrival
+        if backlog > queue_limit:
+            continue
+        kept[i] = True
+        waits.append(backlog)
+        backlog += services[i]
+    return kept, np.asarray(waits), backlog, previous
+
+
+def bounded_waits(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    queue_limit: float,
+) -> tuple:
+    """Vectorized bounded-buffer (queue-limit) drop kernel.
+
+    Exact block fixed point: each block's waits are computed with the
+    closed-form Lindley kernel assuming no drops inside the block; an
+    overflowing block is refined by removing, per zero-backlog segment,
+    its *first* violator (whose computed wait is provably exact — every
+    earlier request in the segment is a certain keep) and recomputing.
+    Almost-never-dropping probes converge in one pass; a block still
+    overflowing after ``_DROP_MAX_PASSES`` (sustained deep overload)
+    falls back to the scalar oracle seeded with the exact carry-in, so
+    the result always matches ``bounded_waits_reference`` element-wise.
+
+    Returns ``(kept_mask, waits_of_kept)``.
+    """
+    n = len(arrivals)
+    if n == 0:
+        return np.zeros(0, dtype=bool), np.empty(0)
+    if queue_limit < 0:
+        # A drained backlog is never negative, so everything overflows.
+        return np.zeros(n, dtype=bool), np.empty(0)
+    # Optimistic whole-array attempt first: an acceptable rate probe
+    # drops (almost) nothing, and one closed-form pass both proves it
+    # and *is* the answer — the block fixed point below only runs when
+    # the no-drop waits actually overflow somewhere.
+    increments = _increment_buffer(n)
+    increments[0] = -arrivals[0]
+    if n > 1:
+        # services[:-1] - diff(arrivals), built without temporaries.
+        np.subtract(arrivals[:-1], arrivals[1:], out=increments[1:])
+        increments[1:] += services[:-1]
+    optimistic = _seeded_lindley(increments, 0.0)
+    if optimistic.max() <= queue_limit:
+        return np.ones(n, dtype=bool), optimistic
+    kept = np.ones(n, dtype=bool)
+    waits = np.empty(n)
+    backlog = 0.0
+    previous = 0.0
+    for start in range(0, n, _DROP_BLOCK):
+        stop = min(start + _DROP_BLOCK, n)
+        block_arrivals = arrivals[start:stop]
+        block_services = services[start:stop]
+        backlog, previous = _bounded_block(
+            block_arrivals, block_services, queue_limit, backlog, previous,
+            kept[start:stop], waits[start:stop],
+        )
+    return kept, waits[kept]
+
+
+def _bounded_block(
+    arrivals: np.ndarray,
+    services: np.ndarray,
+    queue_limit: float,
+    backlog: float,
+    previous: float,
+    kept_out: np.ndarray,
+    waits_out: np.ndarray,
+) -> tuple:
+    """One block of the bounded-buffer fixed point (see bounded_waits).
+
+    Writes keep flags and (for kept requests) waits into the output
+    views and returns the exact ``(backlog, last_arrival)`` carry.
+    """
+    m = len(arrivals)
+    survivors = np.arange(m)
+    for _ in range(_DROP_MAX_PASSES):
+        surv_arrivals = arrivals[survivors]
+        surv_services = services[survivors]
+        # Backlog drains by wall time between consecutive *arrivals*
+        # (dropped requests still let time pass), so increments use
+        # arrival-time differences, exactly like the scalar oracle.
+        increments = np.empty(len(survivors))
+        increments[0] = -(surv_arrivals[0] - previous)
+        if len(survivors) > 1:
+            increments[1:] = surv_services[:-1] - np.diff(surv_arrivals)
+        waits = _seeded_lindley(increments, backlog)
+        violators = waits > queue_limit
+        if not violators.any():
+            kept_mask = np.zeros(m, dtype=bool)
+            kept_mask[survivors] = True
+            kept_out[:] = kept_mask
+            waits_out[survivors] = waits
+            # Drain past any trailing dropped arrivals so the carry state
+            # matches the oracle's (backlog at the block's last arrival).
+            carry_backlog = waits[-1] + surv_services[-1]
+            last = float(arrivals[-1])
+            carry_backlog = max(0.0, carry_backlog - (last - float(surv_arrivals[-1])))
+            return carry_backlog, last
+        # Zero-wait positions are exact resets: the optimistic wait is
+        # an overestimate, so a computed 0 pins the true backlog to 0
+        # and decouples everything after it from earlier drop choices.
+        # Within each reset-delimited segment only the FIRST violator's
+        # wait is known exact (all earlier segment members are certain
+        # keeps); drop exactly those and recompute the shrunk block.
+        segments = np.cumsum(waits == 0.0)
+        violator_positions = np.flatnonzero(violators)
+        first_in_segment = np.empty(len(violator_positions), dtype=bool)
+        first_in_segment[0] = True
+        violator_segments = segments[violator_positions]
+        first_in_segment[1:] = violator_segments[1:] != violator_segments[:-1]
+        survivors = np.delete(survivors,
+                              violator_positions[first_in_segment])
+        if len(survivors) == 0:
+            kept_out[:] = False
+            last = float(arrivals[-1])
+            drained = max(0.0, backlog - (last - previous))
+            return drained, last
+    # Sustained deep overload: the fixed point is shedding one drop per
+    # busy period per pass, so finish the block with the exact scalar
+    # recursion from the block's (exact) entry state instead.
+    kept_mask, block_waits, backlog, previous = bounded_waits_reference(
+        arrivals, services, queue_limit, backlog, previous
+    )
+    kept_out[:] = kept_mask
+    waits_out[kept_mask] = block_waits
+    return backlog, previous
 
 
 @dataclass
@@ -136,35 +366,26 @@ def simulate_gg1(
             _emit_queue_series(outcome, dropped_total=0)
         return outcome
 
-    # With a buffer bound we track unfinished work and drop on overflow.
-    kept_waits = []
-    kept_services = []
-    kept_arrivals = []
-    dropped = 0
-    backlog = 0.0
-    previous_arrival = 0.0
-    for i in range(n_requests):
-        arrival = arrivals[i]
-        backlog = max(0.0, backlog - (arrival - previous_arrival))
-        previous_arrival = arrival
-        if backlog > queue_limit:
-            dropped += 1
-            continue
-        kept_waits.append(backlog)
-        kept_services.append(services[i])
-        kept_arrivals.append(arrival)
-        backlog += services[i]
-    waits = np.asarray(kept_waits)
-    kept = np.asarray(kept_services)
+    # With a buffer bound we track unfinished work and drop on overflow
+    # (vectorized block fixed point; bounded_waits_reference is the
+    # retained scalar oracle).
+    kept_mask, waits = bounded_waits(arrivals, services, queue_limit)
+    dropped = int(n_requests - kept_mask.sum())
+    if dropped:
+        kept = services[kept_mask]
+        kept_arrivals = arrivals[kept_mask]
+    else:
+        kept = services
+        kept_arrivals = arrivals
     outcome = QueueOutcome(
         sojourns=waits + kept,
         services=kept,
-        arrivals=np.asarray(kept_arrivals),
+        arrivals=kept_arrivals,
         dropped=dropped,
         components={COMP_QUEUE_WAIT: waits, COMP_SERVICE: kept},
     )
     if trace.TRACING:
-        _emit_queue_series(outcome, dropped_total=dropped)
+        _emit_queue_series(outcome, dropped_total=outcome.dropped)
     return outcome
 
 
@@ -210,22 +431,120 @@ def simulate_batch_server(
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    arrivals = np.cumsum(_batch_gaps(rate, n_requests, rng, arrival_cv))
+
+    counts, dispatches, spans, finishes = _batch_schedule(
+        arrivals, batch_size, batch_timeout, setup_time, per_item_time
+    )
+    # Payload arrays in one shot: every member of a batch shares its
+    # dispatch/finish/span, so the per-batch columns expand with repeat.
+    counts_arr = np.asarray(counts, dtype=np.intp)
+    dispatch_arr = np.repeat(dispatches, counts_arr)
+    sojourns = np.repeat(finishes, counts_arr) - arrivals
+    services = np.repeat(setup_time / counts_arr + per_item_time, counts_arr)
+    # Attribution: a request waits for its batch to form/dispatch,
+    # then experiences the full batch service span.
+    batch_waits = dispatch_arr - arrivals
+    service_spans = np.repeat(spans, counts_arr)
+
+    outcome = QueueOutcome(
+        sojourns=sojourns, services=services, arrivals=arrivals,
+        components={COMP_BATCH_WAIT: batch_waits, COMP_SERVICE: service_spans},
+    )
+    if trace.TRACING:
+        _emit_batch_series(list(zip(dispatches, counts, spans)))
+        _emit_queue_series(outcome, dropped_total=0)
+    return outcome
+
+
+def _batch_gaps(
+    rate: float, n_requests: int, rng: np.random.Generator, arrival_cv: float
+) -> np.ndarray:
+    """Arrival gaps for the batch server (shared with the reference)."""
     mean_gap = 1.0 / rate
     if arrival_cv == 0.0:
-        gaps = np.full(n_requests, mean_gap)
-    else:
-        shape = 1.0 / max(arrival_cv, 1e-9) ** 2
-        gaps = (
-            rng.exponential(mean_gap, size=n_requests)
-            if arrival_cv == 1.0
-            else rng.gamma(shape, mean_gap / shape, size=n_requests)
-        )
-    arrivals = np.cumsum(gaps)
+        return np.full(n_requests, mean_gap)
+    shape = 1.0 / max(arrival_cv, 1e-9) ** 2
+    return (
+        rng.exponential(mean_gap, size=n_requests)
+        if arrival_cv == 1.0
+        else rng.gamma(shape, mean_gap / shape, size=n_requests)
+    )
+
+
+def _batch_schedule(
+    arrivals: np.ndarray,
+    batch_size: int,
+    batch_timeout: float,
+    setup_time: float,
+    per_item_time: float,
+) -> tuple:
+    """Batch boundaries, dispatch and finish times for every batch.
+
+    The timeout cut of every *potential* batch start is one vectorized
+    ``searchsorted`` over the arrival prefix (`timeout-end[i]` = first
+    arrival past `arrivals[i] + batch_timeout`); chaining the batches is
+    then O(1) per batch on plain Python floats — bisect only when a
+    busy engine lets late arrivals join a timed-out batch.  Arithmetic
+    is identical to the retained reference loop, so dispatch/finish
+    times match it bit for bit.
+    """
+    n = len(arrivals)
+    timeout_end = np.searchsorted(
+        arrivals, arrivals + batch_timeout, side="right"
+    ).tolist()
+    arr = arrivals.tolist()
+    counts: list = []
+    dispatches: list = []
+    spans: list = []
+    finishes: list = []
+    server_free_at = 0.0
+    index = 0
+    while index < n:
+        end = min(index + batch_size, max(timeout_end[index], index + 1))
+        if end - index >= batch_size:
+            # Batch filled: dispatch as soon as the last member arrived and
+            # the engine is free.
+            last_arrival = arr[end - 1]
+            dispatch = last_arrival if last_arrival > server_free_at else server_free_at
+        else:
+            # Timeout-driven dispatch; while the engine is still busy past
+            # the deadline, late arrivals may still join (up to batch_size).
+            deadline = arr[index] + batch_timeout
+            dispatch = deadline if deadline > server_free_at else server_free_at
+            if dispatch > deadline and end < n:
+                end = min(index + batch_size,
+                          bisect_right(arr, dispatch, end, n))
+        batch = end - index
+        span = setup_time + batch * per_item_time
+        finish = dispatch + span
+        counts.append(batch)
+        dispatches.append(dispatch)
+        spans.append(span)
+        finishes.append(finish)
+        server_free_at = finish
+        index = end
+    return counts, dispatches, spans, finishes
+
+
+def simulate_batch_server_reference(
+    rate: float,
+    n_requests: int,
+    rng: np.random.Generator,
+    batch_size: int,
+    batch_timeout: float,
+    setup_time: float,
+    per_item_time: float,
+    arrival_cv: float = 1.0,
+) -> QueueOutcome:
+    """Scalar batch-server loop: the oracle the vectorized path must match."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    arrivals = np.cumsum(_batch_gaps(rate, n_requests, rng, arrival_cv))
     sojourns = np.empty(n_requests)
     services = np.empty(n_requests)
     batch_waits = np.empty(n_requests)
     service_spans = np.empty(n_requests)
-    batch_log = [] if trace.TRACING else None
 
     server_free_at = 0.0
     index = 0
@@ -239,12 +558,8 @@ def simulate_batch_server(
         ):
             end += 1
         if end - index >= batch_size:
-            # Batch filled: dispatch as soon as the last member arrived and
-            # the engine is free.
             dispatch = max(arrivals[end - 1], server_free_at)
         else:
-            # Timeout-driven dispatch; while the engine is still busy past
-            # the deadline, late arrivals may still join (up to batch_size).
             dispatch = max(deadline, server_free_at)
             while (
                 end < n_requests
@@ -257,23 +572,15 @@ def simulate_batch_server(
         finish = dispatch + span
         sojourns[index:end] = finish - arrivals[index:end]
         services[index:end] = setup_time / batch + per_item_time
-        # Attribution: a request waits for its batch to form/dispatch,
-        # then experiences the full batch service span.
         batch_waits[index:end] = dispatch - arrivals[index:end]
         service_spans[index:end] = span
-        if batch_log is not None:
-            batch_log.append((dispatch, batch, span))
         server_free_at = finish
         index = end
 
-    outcome = QueueOutcome(
+    return QueueOutcome(
         sojourns=sojourns, services=services, arrivals=arrivals,
         components={COMP_BATCH_WAIT: batch_waits, COMP_SERVICE: service_spans},
     )
-    if batch_log is not None:
-        _emit_batch_series(batch_log)
-        _emit_queue_series(outcome, dropped_total=0)
-    return outcome
 
 
 def _emit_queue_series(outcome: QueueOutcome, dropped_total: int = 0) -> None:
@@ -306,9 +613,14 @@ def _emit_queue_series(outcome: QueueOutcome, dropped_total: int = 0) -> None:
                            weights=outcome.services)
     util = np.minimum(busy / interval, 1.0)
     track = trace.subtrack("queue")
-    for i in range(n_windows):
-        trace.counter("queue", trace.QUEUE, ts=float(edges[i]), track=track,
-                      depth=int(depth[i]), util=round(float(util[i]), 6))
+    # One batched emission for the whole series; the columns are built
+    # vectorized and rounded exactly like the old per-window loop did
+    # (np.round matches round() on these non-negative values).
+    trace.counter_series(
+        "queue", trace.QUEUE, ts_seconds=[float(t) for t in edges], track=track,
+        depth=[int(d) for d in depth],
+        util=[float(u) for u in np.round(util, 6)],
+    )
     if dropped_total:
         trace.instant("queue.dropped", trace.QUEUE, ts=horizon, track=track,
                       dropped=dropped_total)
@@ -388,13 +700,15 @@ def outcome_to_metrics(
     completions = outcome.completions()
     duration = float(completions.max() - (outcome.arrivals[skip] if skip < n else 0.0))
     # Arrivals in `outcome` are the *served* requests only (drops were
-    # removed), so their rate over the run span IS the served rate.
-    served_rate = (n / float(outcome.arrivals[-1])) if outcome.arrivals[-1] > 0 else 0.0
+    # removed), so their rate over the run span IS the served rate.  A
+    # degenerate span (single request at t=0, or a zero-gap burst) gives
+    # no rate information — report 0 rather than divide by zero.
+    run_span = float(outcome.arrivals[-1])
+    served_rate = n / run_span if run_span > 0.0 else 0.0
     # A shard saturates when completions lag arrivals; detect via backlog at
     # the end of the run growing beyond a few service times.
     tail_backlog = float(completions[-1] - outcome.arrivals[-1])
-    mean_service = float(np.mean(outcome.services)) if n else 0.0
-    run_span = float(outcome.arrivals[-1]) if n else 0.0
+    mean_service = float(np.mean(outcome.services))
     overloaded = tail_backlog > max(50 * mean_service, 0.05 * run_span)
     effective_rate = served_rate * cores
     if overloaded and mean_service > 0:

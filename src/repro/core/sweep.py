@@ -14,7 +14,7 @@ import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from . import trace
+from . import instrument, trace
 from .metrics import RunMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -84,6 +84,51 @@ def _acceptable(metrics: RunMetrics, slo_p99: Optional[float]) -> bool:
     return True
 
 
+# Warm-start bracket shape: probe (1 - _WARM_BELOW) and (1 + _WARM_ABOVE)
+# times the analytic capacity estimate and bisect between them.
+_WARM_BELOW = 0.25
+_WARM_ABOVE = 0.10
+
+
+def _cold_probe_count(
+    low_rate: float,
+    high_rate: float,
+    max_rate: float,
+    tolerance: float,
+    max_probes: int,
+) -> int:
+    """Probes the *cold* search would spend to land on ``max_rate``.
+
+    Replays the cold control flow (floor probe, geometric ramp,
+    bisection) against the oracle "acceptable iff rate <= max_rate".
+    An estimate — the real search answers probes by simulation — used
+    only to size the ``probe.saved`` instrumentation counter.
+    """
+    count = 1  # the floor probe
+    lo, hi = low_rate, None
+    rate = low_rate
+    while count < max_probes:
+        rate = min(rate * 2.0, high_rate)
+        count += 1
+        if rate <= max_rate:
+            lo = rate
+            if rate >= high_rate:
+                return count
+        else:
+            hi = rate
+            break
+    if hi is None:
+        return count
+    while hi - lo > tolerance * hi and count < max_probes:
+        mid = (lo + hi) / 2.0
+        count += 1
+        if mid <= max_rate:
+            lo = mid
+        else:
+            hi = mid
+    return count
+
+
 def find_max_sustainable_rate(
     run_at: RunFn,
     low_rate: float,
@@ -91,12 +136,24 @@ def find_max_sustainable_rate(
     slo_p99: Optional[float] = None,
     tolerance: float = 0.02,
     max_probes: int = 40,
+    warm_start: Optional[float] = None,
 ) -> SweepResult:
     """Search [low_rate, high_rate] for the highest acceptable offered rate.
 
     ``slo_p99`` (seconds) optionally bounds the p99 at the chosen point —
     this is how SLO-constrained operating points are located.  ``tolerance``
     is the relative width at which bisection stops.
+
+    ``warm_start`` (requests/s) is an analytic capacity estimate (see
+    :mod:`repro.core.analytic`): instead of ramping up from the floor,
+    the search brackets the estimate directly — probe just below it,
+    then just above, and bisect.  A good estimate collapses the search
+    to a handful of probes; a bad one degrades gracefully (too high:
+    verify the floor and bisect below; too low: resume the geometric
+    ramp from the estimate).  The answer is always probe-verified — the
+    estimate never substitutes for simulation.  The probes a warm start
+    avoided versus the replayed cold search are credited to the
+    ``probe.saved`` counter (:data:`instrument.PROBES_SAVED`).
 
     A ``run_at`` that raises is contained: the failed probe is recorded in
     ``SweepResult.probes`` (see ``SweepResult.failed_probes``) and treated
@@ -132,41 +189,78 @@ def find_max_sustainable_rate(
             )
         return metrics
 
-    best: Optional[RunMetrics] = None
+    def finish(max_rate: float, metrics: RunMetrics) -> SweepResult:
+        if warm_start is not None and _acceptable(metrics, slo_p99):
+            cold = _cold_probe_count(low_rate, high_rate, max_rate,
+                                     tolerance, max_probes)
+            saved = cold - len(probes)
+            if saved > 0:
+                instrument.increment(instrument.PROBES_SAVED, saved)
+            if trace.TRACING:
+                trace.instant("sweep.warm_start", trace.PROBE,
+                              guess=round(warm_start, 6),
+                              probes=len(probes), cold_estimate=cold)
+        return SweepResult(max_rate=max_rate, metrics=metrics, probes=probes)
+
+    def bisect(lo: float, hi: float, best: RunMetrics) -> SweepResult:
+        # Bisection between last-good and first-bad.
+        while hi - lo > tolerance * hi and len(probes) < max_probes:
+            mid = (lo + hi) / 2.0
+            metrics = probe(mid)
+            if _acceptable(metrics, slo_p99):
+                best, lo = metrics, mid
+            else:
+                hi = mid
+        return finish(lo, best)
+
+    def ramp(start: float, best: RunMetrics) -> SweepResult:
+        # Geometric ramp until the first unacceptable rate or the ceiling.
+        lo = start
+        rate = start
+        while len(probes) < max_probes:
+            rate = min(rate * 2.0, high_rate)
+            metrics = probe(rate)
+            if _acceptable(metrics, slo_p99):
+                best, lo = metrics, rate
+                if rate >= high_rate:
+                    return finish(rate, metrics)
+            else:
+                return bisect(lo, rate, best)
+        # Probe budget exhausted while still sustaining.
+        return finish(lo, best)
+
+    if warm_start is not None and warm_start > 0:
+        guess = min(max(warm_start, low_rate), high_rate)
+        below = max(low_rate, (1.0 - _WARM_BELOW) * guess)
+        below_metrics = probe(below)
+        if _acceptable(below_metrics, slo_p99):
+            above = min(high_rate, (1.0 + _WARM_ABOVE) * guess)
+            if above <= below:
+                # Both probes clamp to the same point (estimate pinned at
+                # a bracket edge): ramp from the verified rate.
+                return ramp(below, below_metrics)
+            above_metrics = probe(above)
+            if _acceptable(above_metrics, slo_p99):
+                if above >= high_rate:
+                    return finish(above, above_metrics)
+                # Estimate was low — keep climbing from above the guess.
+                return ramp(above, above_metrics)
+            return bisect(below, above, below_metrics)
+        # Estimate was high: fall back to verifying the floor, then
+        # bisect between the floor and the failed probe.
+        if below <= low_rate:
+            # The failed probe WAS the floor: no sustainable rate.
+            return finish(low_rate, below_metrics)
+        low_metrics = probe(low_rate)
+        if not _acceptable(low_metrics, slo_p99):
+            return finish(low_rate, low_metrics)
+        return bisect(low_rate, below, low_metrics)
 
     low_metrics = probe(low_rate)
     if not _acceptable(low_metrics, slo_p99):
         # Even the floor rate violates: report the floor as the max point.
-        return SweepResult(max_rate=low_rate, metrics=low_metrics, probes=probes)
-    best = low_metrics
-
-    # Geometric ramp until the first unacceptable rate or the ceiling.
-    lo, hi = low_rate, None
-    rate = low_rate
-    while len(probes) < max_probes:
-        rate = min(rate * 2.0, high_rate)
-        metrics = probe(rate)
-        if _acceptable(metrics, slo_p99):
-            best, lo = metrics, rate
-            if rate >= high_rate:
-                return SweepResult(max_rate=rate, metrics=metrics, probes=probes)
-        else:
-            hi = rate
-            break
-
-    if hi is None:  # probe budget exhausted while still sustaining
-        return SweepResult(max_rate=lo, metrics=best, probes=probes)
-
-    # Bisection between last-good and first-bad.
-    while hi - lo > tolerance * hi and len(probes) < max_probes:
-        mid = (lo + hi) / 2.0
-        metrics = probe(mid)
-        if _acceptable(metrics, slo_p99):
-            best, lo = metrics, mid
-        else:
-            hi = mid
-
-    return SweepResult(max_rate=lo, metrics=best, probes=probes)
+        return finish(low_rate, low_metrics)
+    return ramp(low_rate, low_metrics)
 
 
 def rate_response_curve(

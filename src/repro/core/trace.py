@@ -237,6 +237,29 @@ def counter(name: str, category: str, ts: Optional[float] = None,
                                 track=resolved, ts_us=ts_us, args=values))
 
 
+def counter_series(name: str, category: str, ts_seconds, track: Optional[str] = None,
+                   **columns) -> None:
+    """Emit one counter event per timestamp in a single batched call.
+
+    ``ts_seconds`` is a sequence of simulated-time stamps and each value
+    in ``columns`` a same-length sequence; element i of every column
+    becomes event i's args.  Equivalent to calling :func:`counter` in a
+    loop (identical events, identical order) but the per-event Python
+    overhead — flag check, track resolution, kwarg packing — is paid
+    once per series instead of once per point.
+    """
+    if not TRACING:
+        return
+    resolved = track if track is not None else _recorder.track
+    keys = list(columns)
+    rows = zip(*(columns[key] for key in keys)) if keys else iter(())
+    append = _recorder.append
+    for ts, values in zip(ts_seconds, rows):
+        append(TraceEvent(name=name, category=category, phase="C",
+                          track=resolved, ts_us=ts * 1e6,
+                          args=dict(zip(keys, values))))
+
+
 # -- exporters ---------------------------------------------------------------
 
 

@@ -31,7 +31,7 @@ from ..calibration import (
     POWER,
     base_rtt_sampler,
 )
-from ..core import instrument, trace
+from ..core import analytic, instrument, trace
 from ..core.cache import cache_key, get_cache
 from ..core.metrics import RunMetrics
 from ..core.queueing import (
@@ -271,19 +271,29 @@ def _run_accelerator(
 # ---------------------------------------------------------------------------
 
 
-def estimate_capacity_rps(profile: FunctionProfile, platform: str) -> float:
-    """Analytic first guess used to bracket the sweep."""
+def estimate_capacity_rps(
+    profile: FunctionProfile, platform: str, slo_p99: Optional[float] = None
+) -> float:
+    """Analytic capacity estimate (see :mod:`repro.core.analytic`).
+
+    Used both to anchor the deterministic knee ladder and to warm-start
+    rate sweeps.  With ``slo_p99`` the M/G/1 tail approximation lowers
+    the estimate to the rate whose analytic p99 meets the SLO.
+    """
     if platform == ACCEL_PLATFORM:
-        per_item = accel_per_item_seconds(profile)
-        amortized = ACCELERATORS[profile.accel_engine].setup_latency_s / max(
-            ACCELERATORS[profile.accel_engine].max_batch, 1
+        engine = ACCELERATORS[profile.accel_engine]
+        return analytic.batch_capacity(
+            engine.setup_latency_s, accel_per_item_seconds(profile),
+            engine.max_batch,
         )
-        return 1.0 / (per_item + amortized)
     services = cpu_service_seconds(profile, platform)
     mean_service = float(np.mean(services))
     if mean_service <= 0:
         raise MeasurementError(f"degenerate service time for {profile.key}")
-    return cpu_cores(profile, platform) / mean_service
+    scv = float(np.var(services)) / (mean_service**2)
+    return analytic.slo_capacity(
+        mean_service, scv, cpu_cores(profile, platform), slo_p99
+    )
 
 
 def measure_operating_point(
@@ -340,6 +350,42 @@ def measure_operating_point(
         load=load,
         server_power_w=ServerPowerModel().power(load) + extra_w,
         device_power_w=SnicPowerModel().power(load),
+    )
+
+
+def sweep_operating_rate(
+    profile: FunctionProfile,
+    platform: str,
+    streams: Optional[RandomStreams] = None,
+    n_requests: int = 20_000,
+    slo_p99: Optional[float] = None,
+    tolerance: float = 0.02,
+    warm: bool = True,
+) -> SweepResult:
+    """Probe-verified maximum sustainable rate for one (function, platform).
+
+    Unlike :func:`measure_operating_point`'s fixed 12-rung ladder (kept
+    deterministic so the figure numbers are stable), this runs the
+    adaptive bisection search of :func:`find_max_sustainable_rate` —
+    warm-started from the analytic capacity estimate when ``warm`` is
+    True, which typically halves the probe count (the savings show up
+    in the CLI footer as ``probe.saved``).
+    """
+    streams = streams or RandomStreams()
+    estimate = min(
+        estimate_capacity_rps(profile, platform, slo_p99), _nic_cap_rps(profile)
+    )
+
+    def run_at(rate: float) -> RunMetrics:
+        return run_fixed_rate(profile, platform, rate, streams, n_requests)
+
+    return find_max_sustainable_rate(
+        run_at,
+        low_rate=estimate * 0.05,
+        high_rate=estimate * 2.0,
+        slo_p99=slo_p99,
+        tolerance=tolerance,
+        warm_start=estimate if warm else None,
     )
 
 

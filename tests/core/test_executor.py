@@ -230,3 +230,133 @@ class TestMapCached:
         second = map_cached(ParallelExecutor(jobs=1), [unit], [key],
                             store=store)
         assert second[0] is first[0]
+
+
+class TestSerialBypass:
+    def test_single_core_bypasses_pool(self, monkeypatch):
+        import repro.core.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        executor = ParallelExecutor(jobs=4)
+        units = [WorkUnit(name=f"u{i}", fn=_square, args=(i,))
+                 for i in range(6)]
+        assert executor.map(units) == [i * i for i in range(6)]
+        assert executor.bypasses == 1
+
+    def test_tiny_batches_bypass_after_first_estimate(self, monkeypatch):
+        import repro.core.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 4)
+        executor = ParallelExecutor(jobs=2)
+        units = [WorkUnit(name=f"u{i}", fn=_square, args=(i,))
+                 for i in range(4)]
+        try:
+            executor.map(units)  # first batch: no estimate yet, goes wide
+            assert executor._seconds_per_unit is not None
+            executor.map(units)  # microsecond units: estimate says serial
+            assert executor.bypasses >= 1
+        finally:
+            executor.close()
+
+    def test_knob_disables_bypass(self, monkeypatch):
+        import repro.core.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        executor = ParallelExecutor(jobs=2, serial_bypass=False)
+        units = [WorkUnit(name=f"u{i}", fn=_square, args=(i,))
+                 for i in range(4)]
+        try:
+            assert executor.map(units) == [0, 1, 4, 9]
+            assert executor.bypasses == 0
+            assert executor._pool is not None  # the pool really ran
+        finally:
+            executor.close()
+
+    def test_bypass_results_identical_to_pool(self):
+        units = [
+            WorkUnit(name=f"draw:{i}", fn=_unit_seeded_draw,
+                     args=(f"draw:{i}", SEED))
+            for i in range(5)
+        ]
+        bypassed = ParallelExecutor(jobs=4).map(units)
+        with ParallelExecutor(jobs=4, serial_bypass=False) as pooled:
+            assert pooled.map(units) == bypassed
+
+
+class TestPoolReuse:
+    def test_pool_persists_across_map_calls(self):
+        with ParallelExecutor(jobs=2, serial_bypass=False) as executor:
+            units = [WorkUnit(name=f"u{i}", fn=_square, args=(i,))
+                     for i in range(4)]
+            executor.map(units)
+            first_pool = executor._pool
+            assert first_pool is not None
+            executor.map(units)
+            assert executor._pool is first_pool
+
+    def test_close_shuts_down_and_next_map_rebuilds(self):
+        executor = ParallelExecutor(jobs=2, serial_bypass=False)
+        units = [WorkUnit(name=f"u{i}", fn=_square, args=(i,))
+                 for i in range(4)]
+        try:
+            executor.map(units)
+            executor.close()
+            assert executor._pool is None
+            assert executor.map(units) == [0, 1, 4, 9]
+            assert executor._pool is not None
+        finally:
+            executor.close()
+
+    def test_context_manager_closes(self):
+        with ParallelExecutor(jobs=2, serial_bypass=False) as executor:
+            executor.map([WorkUnit(name="u", fn=_square, args=(2,)),
+                          WorkUnit(name="v", fn=_square, args=(3,))])
+        assert executor._pool is None
+
+
+class TestChunking:
+    def test_many_units_one_chunk_per_worker_slot(self):
+        # 40 units over 2 workers -> at most workers*4 chunks, and the
+        # results still come back flat, in submission order.
+        units = [WorkUnit(name=f"u{i}", fn=_square, args=(i,))
+                 for i in range(40)]
+        with ParallelExecutor(jobs=2, serial_bypass=False) as executor:
+            assert executor.map(units) == [i * i for i in range(40)]
+
+    def test_chunked_counters_merge_exactly(self):
+        units = [WorkUnit(name=f"bump{i}", fn=_bump_dotted_counters,
+                          args=(i + 1,)) for i in range(10)]
+        instrument.reset()
+        with ParallelExecutor(jobs=2, serial_bypass=False) as executor:
+            executor.map(units)
+        assert instrument.value("sim.events_fired") == sum(range(1, 11))
+        assert instrument.value("custom.widget.count") == 2 * sum(range(1, 11))
+
+
+class TestBrokenPoolRecovery:
+    def test_dead_pool_reruns_serially_without_double_count(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.core.executor as executor_module
+
+        executor = ParallelExecutor(jobs=2, serial_bypass=False)
+        units = [WorkUnit(name=f"bump{i}", fn=_bump_dotted_counters,
+                          args=(i + 1,)) for i in range(4)]
+
+        class _DeadPool:
+            def submit(self, *args, **kwargs):
+                raise BrokenProcessPool("worker died")
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        executor._pool = _DeadPool()
+        instrument.reset()
+        try:
+            assert executor.map(units) == [1, 2, 3, 4]
+            # Counters were merged exactly once (by the serial rerun).
+            assert instrument.value("sim.events_fired") == 10
+            assert executor.pool_restarts == 1
+            assert executor._pool is None  # dead pool was torn down
+        finally:
+            executor.close()

@@ -1,0 +1,269 @@
+"""Vectorized queueing kernels vs their retained scalar oracles.
+
+The fast paths in :mod:`repro.core.queueing` (closed-form Lindley,
+bounded-buffer block fixed point, searchsorted batch scheduling) must be
+*indistinguishable* from the scalar reference loops they replaced — same
+keeps, same drops, same waits to 1e-12, and for the batch server the
+same floats bit for bit (its arithmetic is expression-identical).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queueing import (
+    QueueOutcome,
+    bounded_waits,
+    bounded_waits_reference,
+    lindley_waits,
+    lindley_waits_reference,
+    outcome_to_metrics,
+    simulate_batch_server,
+    simulate_batch_server_reference,
+    simulate_gg1,
+)
+
+ARRIVAL_CVS = (0.0, 0.5, 1.0, 2.0)
+SIZES = (0, 1, 2, 10_000)
+
+
+def _gaps(rng, n, cv, mean_gap=1.0):
+    if cv == 0.0:
+        return np.full(n, mean_gap)
+    if cv == 1.0:
+        return rng.exponential(mean_gap, size=n)
+    shape = 1.0 / cv**2
+    return rng.gamma(shape, mean_gap / shape, size=n)
+
+
+def _assert_lindley_close(fast, slow, gaps, services):
+    """Element-wise equality up to the closed form's cancellation floor.
+
+    The closed form computes W = C - min(C); when the cumulative sum
+    drifts to magnitude M the subtraction cannot resolve finer than
+    ~eps*M, so the tolerance scales with the drift (1e-12 absolute for
+    O(1) sums, proportionally wider for long overloaded runs).
+    """
+    assert fast.shape == slow.shape
+    n = len(gaps)
+    scale = 1.0
+    if n > 1:
+        increments = np.zeros(n)
+        increments[1:] = services[:-1] - gaps[1:]
+        scale = max(1.0, float(np.abs(np.cumsum(increments)).max()))
+    np.testing.assert_allclose(fast, slow, atol=1e-12 * scale, rtol=0.0)
+
+
+class TestLindleyEquivalence:
+    @pytest.mark.parametrize("cv", ARRIVAL_CVS)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_matches_scalar_reference(self, cv, n):
+        rng = np.random.default_rng(hash((cv, n)) % 2**32)
+        gaps = _gaps(rng, n, cv)
+        services = rng.exponential(0.9, size=n)  # near-critical load
+        fast = lindley_waits(gaps, services)
+        slow = lindley_waits_reference(gaps, services)
+        _assert_lindley_close(fast, slow, gaps, services)
+
+    def test_heavy_overload_matches(self):
+        rng = np.random.default_rng(7)
+        gaps = rng.exponential(1.0, size=5_000)
+        services = rng.exponential(3.0, size=5_000)  # rho = 3
+        _assert_lindley_close(
+            lindley_waits(gaps, services),
+            lindley_waits_reference(gaps, services), gaps, services)
+
+    def test_result_not_aliased_to_scratch(self):
+        # The kernel computes in a reused thread-local buffer; the array
+        # it returns must survive a subsequent call unchanged.
+        rng = np.random.default_rng(0)
+        gaps = rng.exponential(1.0, size=256)
+        services = rng.exponential(0.8, size=256)
+        first = lindley_waits(gaps, services)
+        copy = first.copy()
+        lindley_waits(rng.exponential(1.0, size=256),
+                      rng.exponential(2.0, size=256))
+        np.testing.assert_array_equal(first, copy)
+
+    @given(st.integers(min_value=0, max_value=400),
+           st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_loads(self, n, rho):
+        rng = np.random.default_rng(n * 1000 + int(rho * 100))
+        gaps = rng.exponential(1.0, size=n)
+        services = rng.exponential(rho, size=n)
+        _assert_lindley_close(
+            lindley_waits(gaps, services),
+            lindley_waits_reference(gaps, services), gaps, services)
+
+
+class TestBoundedWaitsEquivalence:
+    # Spanning no-drop (huge limit), occasional-drop, drop-most (tiny
+    # limit, exercising the fallback-to-oracle path after max passes).
+    LIMITS = (0.0, 1e-6, 0.5, 2.0, 1e9)
+
+    @pytest.mark.parametrize("limit", LIMITS)
+    @pytest.mark.parametrize("cv", ARRIVAL_CVS)
+    def test_matches_scalar_reference(self, limit, cv):
+        rng = np.random.default_rng(int(limit * 1e3) % 997 + int(cv * 10))
+        n = 6_000
+        gaps = _gaps(rng, n, cv)
+        arrivals = np.cumsum(gaps)
+        services = rng.exponential(1.2, size=n)  # overloaded -> drops
+        kept_fast, waits_fast = bounded_waits(arrivals, services, limit)
+        kept_ref, waits_ref, _, _ = bounded_waits_reference(
+            arrivals, services, limit)
+        np.testing.assert_array_equal(kept_fast, kept_ref)
+        np.testing.assert_allclose(waits_fast, waits_ref, atol=1e-12, rtol=0.0)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_sizes(self, n):
+        rng = np.random.default_rng(n + 13)
+        arrivals = np.cumsum(rng.exponential(1.0, size=n))
+        services = rng.exponential(1.5, size=n)
+        kept_fast, waits_fast = bounded_waits(arrivals, services, 1.0)
+        kept_ref, waits_ref, _, _ = bounded_waits_reference(
+            arrivals, services, 1.0)
+        np.testing.assert_array_equal(kept_fast, kept_ref)
+        np.testing.assert_allclose(waits_fast, waits_ref, atol=1e-12, rtol=0.0)
+
+    def test_negative_limit_drops_everything(self):
+        arrivals = np.array([0.5, 1.0, 1.5])
+        services = np.ones(3)
+        kept, waits = bounded_waits(arrivals, services, -1.0)
+        assert not kept.any() and waits.size == 0
+
+    def test_spans_multiple_blocks(self):
+        # > _DROP_BLOCK arrivals with drops in every block, so the carry
+        # state (backlog, previous arrival) crosses block boundaries.
+        rng = np.random.default_rng(42)
+        n = 13_000
+        arrivals = np.cumsum(rng.exponential(1.0, size=n))
+        services = rng.exponential(2.0, size=n)
+        kept_fast, waits_fast = bounded_waits(arrivals, services, 3.0)
+        kept_ref, waits_ref, _, _ = bounded_waits_reference(
+            arrivals, services, 3.0)
+        assert 0 < kept_fast.sum() < n  # the case actually has drops
+        np.testing.assert_array_equal(kept_fast, kept_ref)
+        np.testing.assert_allclose(waits_fast, waits_ref, atol=1e-12, rtol=0.0)
+
+    @given(st.integers(min_value=0, max_value=300),
+           st.floats(min_value=0.2, max_value=3.0),
+           st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_systems(self, n, rho, limit):
+        rng = np.random.default_rng(n * 31 + int(rho * 7) + int(limit * 3))
+        arrivals = np.cumsum(rng.exponential(1.0, size=n))
+        services = rng.exponential(rho, size=n)
+        kept_fast, waits_fast = bounded_waits(arrivals, services, limit)
+        kept_ref, waits_ref, _, _ = bounded_waits_reference(
+            arrivals, services, limit)
+        np.testing.assert_array_equal(kept_fast, kept_ref)
+        np.testing.assert_allclose(waits_fast, waits_ref, atol=1e-12, rtol=0.0)
+
+
+def _outcomes_equal(fast: QueueOutcome, ref: QueueOutcome) -> None:
+    np.testing.assert_array_equal(fast.arrivals, ref.arrivals)
+    np.testing.assert_array_equal(fast.sojourns, ref.sojourns)
+    np.testing.assert_array_equal(fast.services, ref.services)
+    assert fast.dropped == ref.dropped
+    assert set(fast.components) == set(ref.components)
+    for name, values in ref.components.items():
+        np.testing.assert_array_equal(fast.components[name], values)
+
+
+class TestBatchServerEquivalence:
+    # (batch_size, timeout, setup, per_item) corners: singletons,
+    # timeout-driven, size-driven, setup-dominated, saturating.
+    GRID = [
+        (1, 0.0, 1e-4, 1e-5),
+        (4, 1e-3, 5e-4, 1e-5),
+        (16, 5e-4, 1e-3, 2e-6),
+        (32, 1e-2, 2e-3, 1e-6),
+        (8, 1e-6, 1e-5, 1e-4),
+    ]
+
+    @pytest.mark.parametrize("batch_size,timeout,setup,per_item", GRID)
+    @pytest.mark.parametrize("cv", ARRIVAL_CVS)
+    def test_bit_exact_vs_reference(self, batch_size, timeout, setup,
+                                    per_item, cv):
+        # Identical float expressions on identical RNG draws: the two
+        # paths must agree bit for bit, not just to a tolerance.
+        rate = 1.0 / max(per_item, setup / batch_size) * 0.6
+        fast = simulate_batch_server(
+            rate, 3_000, np.random.default_rng(5), batch_size, timeout,
+            setup, per_item, arrival_cv=cv)
+        ref = simulate_batch_server_reference(
+            rate, 3_000, np.random.default_rng(5), batch_size, timeout,
+            setup, per_item, arrival_cv=cv)
+        _outcomes_equal(fast, ref)
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.floats(min_value=0.0, max_value=1e-2),
+           st.floats(min_value=0.0, max_value=5e-3),
+           st.floats(min_value=1e-7, max_value=1e-3),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_property_random_engines(self, batch_size, timeout, setup,
+                                     per_item, n):
+        seed = batch_size * 7 + n
+        fast = simulate_batch_server(
+            2_000.0, n, np.random.default_rng(seed), batch_size, timeout,
+            setup, per_item)
+        ref = simulate_batch_server_reference(
+            2_000.0, n, np.random.default_rng(seed), batch_size, timeout,
+            setup, per_item)
+        _outcomes_equal(fast, ref)
+
+
+class TestGG1DropPathEquivalence:
+    def test_simulate_gg1_uses_exact_drop_kernel(self):
+        # End-to-end: the gg1 wrapper with a queue_limit reproduces the
+        # scalar recursion's kept set and sojourns.
+        rng = np.random.default_rng(11)
+        outcome = simulate_gg1(1.5, lambda r, n: r.exponential(1.0, size=n),
+                               4_000, rng, queue_limit=2.0)
+        rng = np.random.default_rng(11)
+        gaps = rng.exponential(1.0 / 1.5, size=4_000)
+        arrivals = np.cumsum(gaps)
+        services = rng.exponential(1.0, size=4_000)
+        kept, waits, _, _ = bounded_waits_reference(arrivals, services, 2.0)
+        assert outcome.dropped == int(4_000 - kept.sum())
+        np.testing.assert_allclose(
+            outcome.sojourns, waits + services[kept], atol=1e-12, rtol=0.0)
+
+
+class TestOutcomeToMetricsGuards:
+    def test_empty_outcome_reports_zero_rate(self):
+        outcome = QueueOutcome(sojourns=np.empty(0), services=np.empty(0),
+                               arrivals=np.empty(0), dropped=5)
+        metrics = outcome_to_metrics(outcome, offered_rate=100.0,
+                                     bytes_per_request=64)
+        assert metrics.completed == 0
+        assert metrics.completed_rate == 0.0
+        assert metrics.dropped == 5
+        assert metrics.latency_p99 == float("inf")
+
+    def test_single_arrival_at_time_zero_has_no_rate(self):
+        # run_span == 0: a degenerate span carries no rate information
+        # and must not divide by zero.
+        outcome = QueueOutcome(sojourns=np.array([1e-3]),
+                               services=np.array([1e-3]),
+                               arrivals=np.array([0.0]))
+        metrics = outcome_to_metrics(outcome, offered_rate=100.0,
+                                     bytes_per_request=64,
+                                     warmup_fraction=0.0)
+        assert metrics.completed == 1
+        assert metrics.completed_rate == 0.0
+        assert np.isfinite(metrics.latency_p99)
+
+    def test_zero_gap_burst_has_no_rate(self):
+        outcome = QueueOutcome(sojourns=np.full(4, 1e-3),
+                               services=np.full(4, 1e-3),
+                               arrivals=np.zeros(4))
+        metrics = outcome_to_metrics(outcome, offered_rate=100.0,
+                                     bytes_per_request=64,
+                                     warmup_fraction=0.0)
+        assert metrics.completed_rate == 0.0
+        assert metrics.goodput_gbps == 0.0

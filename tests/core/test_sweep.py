@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import RunMetrics, find_max_sustainable_rate, rate_response_curve
+from repro.core import instrument
 
 
 def make_system(capacity, base_latency=1e-6):
@@ -146,3 +147,68 @@ def test_monotone_latency_in_probe_set():
     ordered = sorted(sustained, key=lambda m: m.offered_rate)
     latencies = [m.latency_p99 for m in ordered]
     assert latencies == sorted(latencies)
+
+
+class TestWarmStart:
+    """Analytic warm starts: fewer probes, same (probe-verified) answer."""
+
+    CAPACITY = 10_000.0
+    LOW, HIGH = 100.0, 100_000.0
+
+    def _search(self, warm_start=None, capacity=CAPACITY, **kwargs):
+        calls = []
+        inner = make_system(capacity=capacity)
+
+        def run_at(rate):
+            calls.append(rate)
+            return inner(rate)
+
+        result = find_max_sustainable_rate(
+            run_at, low_rate=self.LOW, high_rate=self.HIGH,
+            warm_start=warm_start, **kwargs)
+        return result, calls
+
+    def test_good_estimate_saves_probes_same_answer(self):
+        cold, cold_calls = self._search()
+        warm, warm_calls = self._search(warm_start=self.CAPACITY)
+        assert len(warm_calls) < len(cold_calls)
+        assert warm.max_rate == pytest.approx(cold.max_rate, rel=0.02)
+
+    def test_probe_saved_counter_increments(self):
+        before = instrument.value(instrument.PROBES_SAVED)
+        self._search(warm_start=self.CAPACITY)
+        assert instrument.value(instrument.PROBES_SAVED) > before
+
+    def test_cold_search_never_touches_counter(self):
+        before = instrument.value(instrument.PROBES_SAVED)
+        self._search()
+        assert instrument.value(instrument.PROBES_SAVED) == before
+
+    def test_high_estimate_degrades_to_floor_bisection(self):
+        # Estimate 5x over capacity: both bracket probes fail, the
+        # search verifies the floor and bisects below the failed probe.
+        warm, _ = self._search(warm_start=5 * self.CAPACITY)
+        assert warm.sustainable
+        assert warm.max_rate == pytest.approx(self.CAPACITY, rel=0.1)
+
+    def test_low_estimate_resumes_geometric_ramp(self):
+        warm, _ = self._search(warm_start=self.CAPACITY / 20.0)
+        assert warm.sustainable
+        assert warm.max_rate == pytest.approx(self.CAPACITY, rel=0.05)
+
+    def test_estimate_above_ceiling_clamped(self):
+        # Capacity beyond the search ceiling: the warm search verifies
+        # the ceiling itself and stops there, like the cold one.
+        warm, _ = self._search(warm_start=1e9, capacity=1e9)
+        assert warm.max_rate == self.HIGH
+
+    def test_nothing_sustains_reports_floor(self):
+        warm, _ = self._search(warm_start=self.CAPACITY, capacity=1.0)
+        assert not warm.sustainable
+        assert warm.max_rate == self.LOW
+
+    def test_answer_always_probe_verified(self):
+        # The returned metrics must come from an actual probe at (or
+        # bracketing) max_rate, never from the analytic estimate.
+        warm, calls = self._search(warm_start=self.CAPACITY)
+        assert warm.metrics.offered_rate in calls

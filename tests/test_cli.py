@@ -207,7 +207,7 @@ class TestTraceVerb:
 class TestFooterOnFailure:
     def test_footer_and_trace_survive_a_failing_verb(self, tmp_path,
                                                      monkeypatch, capsys):
-        def boom(args, streams):
+        def boom(args, streams, executor):
             raise RuntimeError("verb exploded mid-study")
 
         monkeypatch.setattr(cli, "_dispatch", boom)
