@@ -1,14 +1,20 @@
-"""CSV export of measured results.
+"""CSV and JSON export of measured results.
 
 Reviewers and downstream tooling want raw numbers, not rendered tables:
-these writers serialize the Fig. 4/5/6 and Table 5 result objects to CSV
-with one row per measurement point, suitable for pandas/gnuplot.
+the CSV writers serialize the Fig. 4/5/6 and Table 5 result objects with
+one row per measurement point, suitable for pandas/gnuplot, and the JSON
+artifact writer wraps any registered experiment's result in a stable
+machine-readable envelope (``python -m repro <verb> --json FILE``) that
+CI validates against the spec's declared schema.
 """
 
 from __future__ import annotations
 
 import csv
-from typing import IO, Sequence
+import dataclasses
+import json
+import math
+from typing import IO, Any, Dict, List, Mapping, Optional, Sequence
 
 
 def write_fig4_csv(stream: IO[str], rows: Sequence) -> int:
@@ -78,6 +84,151 @@ def write_fig6_csv(stream: IO[str], rows: Sequence) -> int:
             f"{row.efficiency_ratio:.4f}",
         ])
     return len(rows)
+
+
+# ---------------------------------------------------------------------------
+# JSON artifacts
+# ---------------------------------------------------------------------------
+
+# Shape of the envelope every `--json` artifact is wrapped in; the CI
+# smoke matrix validates this for every registered verb, then validates
+# the "result" payload against the experiment spec's own schema.
+ARTIFACT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["experiment", "title", "tier", "seed", "fidelity",
+                 "code_version", "result"],
+    "properties": {
+        "experiment": {"type": "string"},
+        "title": {"type": "string"},
+        "tier": {"type": "string"},
+        "seed": {"type": "integer"},
+        "code_version": {"type": "string"},
+        "fidelity": {
+            "type": "object",
+            "required": ["samples", "requests"],
+            "properties": {
+                "samples": {"type": "integer"},
+                "requests": {"type": "integer"},
+            },
+        },
+    },
+}
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` to strict-JSON-safe primitives.
+
+    Dataclasses become dicts, numpy scalars/arrays become Python
+    numbers/lists, and non-finite floats become ``null`` — ``NaN`` is
+    valid to :mod:`json` but not to strict JSON parsers, and artifacts
+    are consumed by tooling we don't control.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: to_jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, Mapping):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if hasattr(value, "tolist"):  # numpy scalar or array
+        return to_jsonable(value.tolist())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    return str(value)
+
+
+def build_artifact(
+    *,
+    experiment: str,
+    title: str,
+    tier: str,
+    seed: int,
+    fidelity: Mapping[str, Any],
+    result: Any,
+) -> Dict[str, Any]:
+    """The machine-readable envelope around one experiment's result."""
+    from ..core.cache import CODE_VERSION
+
+    return {
+        "experiment": experiment,
+        "title": title,
+        "tier": tier,
+        "seed": seed,
+        "fidelity": to_jsonable(dict(fidelity)),
+        "code_version": CODE_VERSION,
+        "result": to_jsonable(result),
+    }
+
+
+def write_artifact(stream: IO[str], artifact: Mapping[str, Any]) -> None:
+    json.dump(artifact, stream, indent=2, sort_keys=False, allow_nan=False)
+    stream.write("\n")
+
+
+def validate_artifact(
+    doc: Any, schema: Optional[Mapping[str, Any]], path: str = "$"
+) -> List[str]:
+    """Check ``doc`` against a minimal JSON-Schema subset; returns errors.
+
+    Supports ``type`` (a name or list of names, with "number" accepting
+    integers), ``required``/``properties`` for objects, ``items`` and
+    ``minItems`` for arrays, and ``enum`` — enough to pin each
+    artifact's shape in CI without a jsonschema dependency.
+    """
+    if schema is None:
+        return []
+    errors: List[str] = []
+
+    type_spec = schema.get("type")
+    if type_spec is not None:
+        allowed = [type_spec] if isinstance(type_spec, str) else list(type_spec)
+        if not any(_is_type(doc, name) for name in allowed):
+            errors.append(
+                f"{path}: expected {'/'.join(allowed)}, "
+                f"got {type(doc).__name__}"
+            )
+            return errors  # structural checks below would be nonsense
+
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{path}: {doc!r} not in enum {schema['enum']!r}")
+
+    if isinstance(doc, dict):
+        for name in schema.get("required", ()):
+            if name not in doc:
+                errors.append(f"{path}: missing required key {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in doc:
+                errors.extend(validate_artifact(doc[name], sub,
+                                                f"{path}.{name}"))
+    if isinstance(doc, list):
+        min_items = schema.get("minItems")
+        if min_items is not None and len(doc) < min_items:
+            errors.append(f"{path}: expected >= {min_items} items, "
+                          f"got {len(doc)}")
+        items = schema.get("items")
+        if items is not None:
+            for index, entry in enumerate(doc):
+                errors.extend(validate_artifact(entry, items,
+                                                f"{path}[{index}]"))
+    return errors
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _is_type(value: Any, name: str) -> bool:
+    check = _TYPE_CHECKS.get(name)
+    return bool(check and check(value))
 
 
 def write_table5_csv(stream: IO[str], comparisons: Sequence) -> int:

@@ -15,24 +15,8 @@ from ..core.rng import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.executor import ParallelExecutor
-from ..experiments import (
-    format_faults,
-    format_verdicts,
-    rows_from_fig4,
-    run_fig4,
-    run_fig5,
-    run_fig7,
-    run_faults_study,
-    run_table4,
-    run_table5,
-)
-from ..experiments.observations import (
-    observation_1,
-    observation_2,
-    observation_3,
-    observation_4,
-    observation_5,
-)
+    from ..experiments.registry import ExperimentContext
+from ..experiments import format_faults, format_verdicts
 from .attribution import format_attribution_markdown
 from .attribution import rows_from_fig4 as attribution_rows_from_fig4
 from .tco import format_comparison
@@ -292,38 +276,42 @@ def generate_report(
     streams: Optional[RandomStreams] = None,
     jobs: int = 1,
     executor: Optional["ParallelExecutor"] = None,
+    ctx: Optional["ExperimentContext"] = None,
 ) -> str:
-    """Measure everything and render the markdown report.
+    """Walk the experiment registry and render the markdown report.
 
-    Fig. 4 runs first and populates the operating-point cache; Table 5
-    and the fault study request the *same* fidelity and seed, so every
-    (function, platform) pair is simulated at most once per report.
-    ``jobs`` parallelizes the independent measurements in each artifact;
-    passing a shared ``executor`` instead reuses one worker pool across
-    every phase of the report.
+    One :class:`ExperimentContext` memoizes every artifact for the whole
+    walk: fig4's rows feed fig6, the observations, and the attribution
+    section without re-measuring; table4 feeds table5; the fault study
+    reuses fig4's operating points through the content-addressed cache.
+    Every artifact — including fig5, which used to run at a private
+    hard-coded fidelity — resolves its spec's default tier against the
+    same invocation-wide ``samples``/``n_requests``, so each (function,
+    platform, fidelity) operating point is simulated at most once per
+    report.  ``jobs`` parallelizes the independent measurements in each
+    artifact; passing a shared ``executor`` instead reuses one worker
+    pool across every phase.
     """
-    from ..core.executor import ParallelExecutor
+    from ..experiments.registry import ExperimentContext
 
-    streams = streams or RandomStreams(2023)
-    executor = executor or ParallelExecutor(jobs)
-    fig4_rows = run_fig4(samples=samples, n_requests=n_requests,
-                         streams=streams, executor=executor)
-    fig6_rows = rows_from_fig4(fig4_rows)
-    fig5_curves = run_fig5(samples=150, n_requests=8000, streams=streams,
-                           executor=executor)
-    table4 = run_table4(samples=samples, n_requests=n_requests, streams=streams)
-    table5 = run_table5(samples=samples, n_requests=n_requests, streams=streams)
-    fig7 = run_fig7()
-    faults = run_faults_study(samples=samples, n_requests=n_requests,
-                              streams=streams, smoke=False, executor=executor)
+    if ctx is None:
+        from ..core.executor import ParallelExecutor
 
-    verdicts = [
-        observation_1(fig4_rows),
-        observation_2(fig4_rows),
-        observation_3(fig5_curves),
-        observation_4(fig4_rows),
-        observation_5(fig6_rows),
-    ]
+        ctx = ExperimentContext(
+            streams=streams or RandomStreams(2023),
+            executor=executor or ParallelExecutor(jobs),
+            samples=samples,
+            requests=n_requests,
+        )
+    fig4_rows = ctx.run("fig4")
+    fig5_curves = ctx.run("fig5")
+    fig6_rows = ctx.run("fig6")
+    table4 = ctx.run("table4")
+    table5 = ctx.run("table5")
+    fig7 = ctx.run("fig7")
+    faults = ctx.run("faults")
+    verdicts = ctx.run("observations")
+
     anchor_rows = collect_anchor_rows(fig4_rows, fig6_rows, fig5_curves,
                                       table4, table5)
     return render_report(

@@ -85,3 +85,34 @@ def format_table3() -> str:
 
 def format_all_tables() -> str:
     return "\n\n".join([format_table1(), format_table2(), format_table3()])
+
+
+def _register() -> None:
+    # Local import: this module is also imported by experiment modules'
+    # consumers; keeping the registry import inside the function avoids
+    # widening the import graph at module-import time.
+    from ..experiments.registry import Experiment, register, smoke_tier
+
+    register(Experiment(
+        name="tables",
+        title="Tables 1-3: hardware and benchmark configuration",
+        description="the paper's descriptive tables regenerated from the "
+                    "spec records and the profile catalog",
+        runner=lambda ctx: format_all_tables(),
+        formatter=lambda text: text,
+        to_json=lambda text: {
+            "tables": [format_table1(), format_table2(), format_table3()],
+        },
+        schema={
+            "type": "object",
+            "required": ["tables"],
+            "properties": {
+                "tables": {"type": "array", "minItems": 3,
+                           "items": {"type": "string"}},
+            },
+        },
+        tiers=smoke_tier(),
+    ))
+
+
+_register()

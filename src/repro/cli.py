@@ -8,10 +8,18 @@ Usage::
     python -m repro fig7              # Fig. 7 trace sparkline
     python -m repro table4            # Table 4 trace replay
     python -m repro table5            # Table 5 TCO
-    python -m repro observations      # O1-O5 verdicts
-    python -m repro faults [--smoke]  # availability under fault scenarios
+    python -m repro observations     # O1-O5 verdicts
+    python -m repro faults --smoke    # availability study, CI fidelity
     python -m repro report [-o FILE]  # full EXPERIMENTS.md
     python -m repro trace fig4 --smoke   # flight-recorder trace of a run
+
+Every experiment verb is a generic walk over the experiment registry
+(:mod:`repro.experiments.registry`): the verb list, ``--csv`` support,
+``--smoke`` fidelity, ``--json`` artifact export, and dependency
+resolution (fig6 reuses fig4's rows, table5 reuses table4) all derive
+from the registered :class:`Experiment` specs — registering a new spec
+is all it takes to get a verb here, a section in the smoke matrix, and
+a JSON artifact schema.
 
 Any verb takes ``--trace`` (record the run into the flight recorder and
 write ``trace.jsonl`` + Chrome ``trace.json`` on exit), ``--trace-dir``
@@ -30,33 +38,12 @@ import time
 from typing import List, Optional
 
 from .analysis.report import generate_report
-from .analysis.tables import format_all_tables
-from .analysis.tco import format_comparison
 from .core import instrument, trace
 from .core.cache import ResultCache, configure
 from .core.executor import ParallelExecutor
 from .core.rng import RandomStreams
-from .experiments import (
-    format_fig4,
-    format_fig5,
-    format_fig6,
-    format_fig7,
-    format_table4,
-    format_verdicts,
-    rows_from_fig4,
-    run_fig4,
-    run_fig5,
-    run_fig7,
-    run_table4,
-    run_table5,
-)
-from .experiments.observations import (
-    observation_1,
-    observation_2,
-    observation_3,
-    observation_4,
-    observation_5,
-)
+from .experiments import registry
+from .experiments.registry import DEFAULT_TIER, SMOKE_TIER, ExperimentContext
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,8 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persist measured results on disk and reuse "
                              "them across invocations")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the experiment's smoke fidelity tier "
+                             "(tiny deterministic subset, seconds, for CI)")
     parser.add_argument("--csv", default=None, metavar="FILE",
-                        help="also write the result as CSV (fig4/fig5/fig6/table5)")
+                        help="also write the result as CSV "
+                             "(verbs whose spec has a CSV writer)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the result as a JSON artifact "
+                             "(validated against the spec's schema in CI)")
     parser.add_argument("--log-level", default="warning",
                         choices=("debug", "info", "warning", "error"),
                         help="level for the repro.* logger hierarchy")
@@ -93,9 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def _mirror_common(p: argparse.ArgumentParser) -> None:
-        # The global observability flags are also accepted after the
-        # subcommand (`repro trace fig4 --trace-dir out/`).  SUPPRESS
-        # defaults keep the subparser from clobbering main-parser values.
+        # The global flags are also accepted after the subcommand
+        # (`repro faults --smoke`, `repro fig4 --json out.json`).
+        # SUPPRESS defaults keep the subparser from clobbering
+        # main-parser values.
+        p.add_argument("--smoke", action="store_true",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--csv", metavar="FILE",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--json", metavar="FILE",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
         p.add_argument("--log-level", choices=("debug", "info", "warning",
                                                "error"),
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
@@ -106,16 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-interval", type=float, metavar="SECONDS",
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
-    for name in ("fig4", "fig5", "fig6", "fig7", "table4", "table5",
-                 "observations", "tables", "strategy1", "modes",
-                 "sensitivity", "microburst"):
-        _mirror_common(sub.add_parser(name, help=f"regenerate {name}"))
-    faults = sub.add_parser(
-        "faults", help="availability under fault scenarios (failover study)"
-    )
-    faults.add_argument("--smoke", action="store_true",
-                        help="tiny deterministic subset (seconds, for CI)")
-    _mirror_common(faults)
+    # One verb per registered experiment, in the paper's artifact order.
+    for spec in registry.all_experiments():
+        _mirror_common(sub.add_parser(spec.name, help=spec.title))
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("-o", "--output", default=None,
                         help="write to a file instead of stdout")
@@ -124,20 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run an experiment with the flight recorder on and "
                       "export the trace"
     )
-    tracer.add_argument("experiment", choices=("fig4", "fig5", "faults"),
+    tracer.add_argument("experiment", choices=registry.names(),
                         help="which experiment to trace")
-    tracer.add_argument("--smoke", action="store_true",
-                        help="tiny deterministic subset (seconds, for CI)")
     _mirror_common(tracer)
     return parser
-
-
-# Subcommands whose output has a CSV writer; everything else rejects --csv.
-CSV_COMMANDS = frozenset({"fig4", "fig5", "fig6", "table5"})
-
-# Smoke fidelity for `repro trace <experiment> --smoke`: a spread that
-# still exercises the CPU queueing, accelerator batch, and cache layers.
-TRACE_SMOKE_KEYS = ("udp:64", "redis:a", "rem:file_image")
 
 
 def _configure_logging(level_name: str) -> None:
@@ -166,48 +150,30 @@ def _write_trace_files(trace_dir: str) -> None:
           f"({len(rec)} events, {rec.dropped} dropped)", file=sys.stderr)
 
 
-def _run_trace_experiment(args, streams, executor) -> None:
-    """The ``trace`` verb body: run one experiment under the recorder."""
-    if args.experiment == "fig4":
-        keys = TRACE_SMOKE_KEYS if args.smoke else None
-        samples = min(args.samples, 40) if args.smoke else args.samples
-        requests = min(args.requests, 2_500) if args.smoke else args.requests
-        kwargs = dict(samples=samples, n_requests=requests, streams=streams,
-                      executor=executor)
-        if keys is not None:
-            kwargs["keys"] = keys
-        rows = run_fig4(**kwargs)
-        print(format_fig4(rows))
-    elif args.experiment == "fig5":
-        samples = min(args.samples, 40) if args.smoke else args.samples
-        requests = min(args.requests, 2_500) if args.smoke else args.requests
-        rates = (10, 30, 50) if args.smoke else None
-        kwargs = dict(samples=samples, n_requests=requests, streams=streams,
-                      executor=executor)
-        if rates is not None:
-            kwargs["rates_gbps"] = rates
-        figure = run_fig5(**kwargs)
-        print(format_fig5(figure))
-    else:  # faults
-        from .experiments.faults import format_faults, run_faults_study
-
-        print(format_faults(run_faults_study(
-            samples=args.samples, n_requests=args.requests, streams=streams,
-            smoke=args.smoke, executor=executor)))
-    rec = trace.recorder()
-    if rec is not None:
-        counts = ", ".join(f"{cat}={n}" for cat, n in
-                           sorted(rec.category_counts().items()))
-        print(f"trace categories: {counts}", file=sys.stderr)
+def _experiment_name(args) -> Optional[str]:
+    """The registered experiment a verb resolves to (None for report)."""
+    if args.command == "trace":
+        return args.experiment
+    if args.command == "report":
+        return None
+    return args.command
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.csv and args.command not in CSV_COMMANDS:
+    name = _experiment_name(args)
+    if args.csv and (name is None or not registry.get(name).supports_csv):
         parser.error(
             f"--csv is not supported by '{args.command}' "
-            f"(supported: {', '.join(sorted(CSV_COMMANDS))})"
+            f"(supported: {', '.join(registry.csv_capable())})"
+        )
+    if name is None and args.json:
+        parser.error(f"--json is not supported by '{args.command}'")
+    if name is None and args.smoke:
+        parser.error(
+            f"--smoke is not supported by '{args.command}' "
+            "(the report compares against the paper at full fidelity)"
         )
     if args.metrics_interval <= 0:
         parser.error("--metrics-interval must be positive")
@@ -253,119 +219,69 @@ def _print_footer(started: float) -> None:
     print(f"[{' | '.join(parts)}]", file=sys.stderr)
 
 
+def _write_json_artifact(path: str, spec, ctx: ExperimentContext,
+                         result) -> None:
+    from .analysis.export import build_artifact, write_artifact
+
+    payload = spec.to_json(result) if spec.to_json is not None else result
+    artifact = build_artifact(
+        experiment=spec.name,
+        title=spec.title,
+        tier=ctx.tier,
+        seed=ctx.seed,
+        fidelity=ctx.fidelity(spec).__dict__,
+        result=payload,
+    )
+    with open(path, "w") as handle:
+        write_artifact(handle, artifact)
+    print(f"wrote {path}", file=sys.stderr)
+
+
 def _dispatch(args, streams, executor) -> int:
-    if args.command == "fig4":
-        from .analysis.plots import fig4_chart
+    """Generic registry-driven verb driver.
 
-        rows = run_fig4(samples=args.samples, n_requests=args.requests,
-                        streams=streams, executor=executor)
-        print(format_fig4(rows))
-        print()
-        print(fig4_chart(rows))
-        if args.csv:
-            from .analysis.export import write_fig4_csv
-
-            with open(args.csv, "w", newline="") as handle:
-                write_fig4_csv(handle, rows)
-    elif args.command == "fig5":
-        from .analysis.plots import fig5_chart
-
-        figure = run_fig5(samples=args.samples, n_requests=args.requests,
-                          streams=streams, executor=executor)
-        print(format_fig5(figure))
-        for ruleset, curves in figure.items():
-            print(f"\n[{ruleset}]")
-            print(fig5_chart(curves))
-        if args.csv:
-            from .analysis.export import write_fig5_csv
-
-            with open(args.csv, "w", newline="") as handle:
-                write_fig5_csv(handle, figure)
-    elif args.command == "fig6":
-        from .analysis.plots import fig6_chart
-
-        rows = rows_from_fig4(run_fig4(samples=args.samples,
-                                       n_requests=args.requests,
-                                       streams=streams, executor=executor))
-        print(format_fig6(rows))
-        print()
-        print(fig6_chart(rows))
-        if args.csv:
-            from .analysis.export import write_fig6_csv
-
-            with open(args.csv, "w", newline="") as handle:
-                write_fig6_csv(handle, rows)
-    elif args.command == "fig7":
-        print(format_fig7(run_fig7()))
-    elif args.command == "table4":
-        print(format_table4(run_table4(samples=args.samples,
-                                       n_requests=args.requests,
-                                       streams=streams)))
-    elif args.command == "table5":
-        result = run_table5(samples=args.samples, n_requests=args.requests,
-                            streams=streams)
-        print(format_comparison(result.comparisons))
-        if args.csv:
-            from .analysis.export import write_table5_csv
-
-            with open(args.csv, "w", newline="") as handle:
-                write_table5_csv(handle, result.comparisons)
-    elif args.command == "observations":
-        fig4_rows = run_fig4(samples=args.samples, n_requests=args.requests,
-                             streams=streams, executor=executor)
-        fig5_curves = run_fig5(samples=150, n_requests=8000, streams=streams,
-                               executor=executor)
-        fig6_rows = rows_from_fig4(fig4_rows)
-        verdicts = [
-            observation_1(fig4_rows),
-            observation_2(fig4_rows),
-            observation_3(fig5_curves),
-            observation_4(fig4_rows),
-            observation_5(fig6_rows),
-        ]
-        print(format_verdicts(verdicts))
-        if not all(v.holds for v in verdicts):
-            return 1
-    elif args.command == "tables":
-        print(format_all_tables())
-    elif args.command == "strategy1":
-        from .experiments.strategy1 import format_strategy1, run_strategy1
-
-        print(format_strategy1(run_strategy1(samples=args.samples,
-                                             n_requests=args.requests,
-                                             streams=streams)))
-    elif args.command == "modes":
-        from .experiments.modes import format_mode_study, run_mode_study
-
-        print(format_mode_study(run_mode_study()))
-    elif args.command == "sensitivity":
-        from .experiments.sensitivity import format_sensitivity, run_sensitivity
-
-        print(format_sensitivity(run_sensitivity(samples=args.samples,
-                                                 n_requests=args.requests,
-                                                 streams=streams)))
-    elif args.command == "microburst":
-        from .experiments.microburst import format_microburst, run_microburst_study
-
-        print(format_microburst(run_microburst_study(
-            samples=args.samples, n_requests=args.requests, streams=streams)))
-    elif args.command == "faults":
-        from .experiments.faults import format_faults, run_faults_study
-
-        print(format_faults(run_faults_study(
-            samples=args.samples, n_requests=args.requests, streams=streams,
-            smoke=args.smoke, executor=executor)))
-    elif args.command == "report":
+    One :class:`ExperimentContext` per invocation carries the streams,
+    the shared worker pool, the fidelity tier, and the per-invocation
+    result memo — so a verb with dependencies (fig6, table5,
+    observations) computes each upstream artifact exactly once.
+    """
+    ctx = ExperimentContext(
+        streams=streams,
+        executor=executor,
+        tier=SMOKE_TIER if args.smoke else DEFAULT_TIER,
+        samples=args.samples,
+        requests=args.requests,
+    )
+    if args.command == "report":
         text = generate_report(samples=args.samples, n_requests=args.requests,
-                               streams=streams, executor=executor)
+                               streams=streams, executor=executor, ctx=ctx)
         if args.output:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")
             print(f"wrote {args.output}", file=sys.stderr)
         else:
             print(text)
-    elif args.command == "trace":
-        _run_trace_experiment(args, streams, executor)
+        return 0
+
+    name = _experiment_name(args)
+    spec = registry.get(name)
+    result = ctx.run(name)
+    print(spec.render(result))
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            spec.csv_writer(handle, result)
+    if args.json:
+        _write_json_artifact(args.json, spec, ctx, result)
+    if args.command == "trace":
+        rec = trace.recorder()
+        if rec is not None:
+            counts = ", ".join(f"{cat}={n}" for cat, n in
+                               sorted(rec.category_counts().items()))
+            print(f"trace categories: {counts}", file=sys.stderr)
+    if spec.verdict is not None and not ctx.smoke:
+        # Science gates (the observations exit code) only bind at full
+        # fidelity; a smoke run validates plumbing, not claims.
+        return spec.verdict(result)
     return 0
 
 

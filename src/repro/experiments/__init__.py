@@ -1,5 +1,17 @@
-"""Experiment harnesses: one module per paper table/figure."""
+"""Experiment harnesses: one module per paper table/figure.
 
+Each module registers a declarative :class:`~repro.experiments.registry.
+Experiment` spec at import time; the CLI, the report generator, the CI
+smoke matrix, and the exporters are generic walks over that registry.
+"""
+
+from .registry import (
+    Experiment,
+    ExperimentContext,
+    Fidelity,
+    register,
+    smoke_tier,
+)
 from .fig4 import FIG4_KEYS, Fig4Row, format_fig4, run_fig4
 from .fig5 import Fig5Series, format_fig5, run_fig5
 from .fig6 import Fig6Row, format_fig6, rows_from_fig4, run_fig6
@@ -78,4 +90,9 @@ __all__ = [
     "ScenarioResult",
     "format_faults",
     "run_faults_study",
+    "Experiment",
+    "ExperimentContext",
+    "Fidelity",
+    "register",
+    "smoke_tier",
 ]

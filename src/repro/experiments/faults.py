@@ -57,8 +57,10 @@ from .measurement import (
     OperatingPoint,
     measure_operating_point_cached,
     operating_point_cache_key,
+    operating_point_json,
 )
 from .profiles import get_profile
+from .registry import Experiment, ExperimentContext, register, smoke_tier
 
 logger = logging.getLogger("repro.faults")
 
@@ -491,3 +493,81 @@ def format_faults(result: FaultStudyResult) -> str:
             )
         lines.append("")
     return "\n".join(lines).rstrip()
+
+
+def _faults_runner(ctx: ExperimentContext) -> FaultStudyResult:
+    fid = ctx.fidelity()
+    return run_faults_study(samples=fid.samples, n_requests=fid.requests,
+                            streams=ctx.streams, smoke=ctx.smoke,
+                            executor=ctx.executor)
+
+
+def _scenario_json(s: ScenarioResult) -> dict:
+    return {
+        "scenario": s.scenario,
+        "availability": s.availability,
+        "p99_s": s.p99_s,
+        "p999_s": s.p999_s,
+        "p99_inflation": s.p99_inflation,
+        "dropped": s.dropped,
+        "drops_outside_fault_s": s.drops_outside_fault_s,
+        "host_share_fault": s.host_share_fault,
+        "retry_stall_mean_s": s.retry_stall_mean_s,
+        "recovery_s": s.recovery_s,
+    }
+
+
+def faults_json(result: FaultStudyResult) -> list:
+    return [
+        {
+            "function": r.function,
+            "snic_platform": r.snic_platform,
+            "offered_rate_rps": r.offered_rate_rps,
+            "deadline_s": r.deadline_s,
+            "host": operating_point_json(r.host),
+            "snic": operating_point_json(r.snic),
+            "scenarios": [_scenario_json(s) for s in r.scenarios],
+        }
+        for r in result.reports
+    ]
+
+
+register(Experiment(
+    name="faults",
+    title="Availability under faults: failover and graceful degradation",
+    description="Fig. 4 operating points replayed through SNIC outage, "
+                "thermal throttle, core loss, and bursty link loss",
+    runner=_faults_runner,
+    formatter=format_faults,
+    to_json=faults_json,
+    schema={
+        "type": "array",
+        "minItems": 1,
+        "items": {
+            "type": "object",
+            "required": ["function", "snic_platform", "offered_rate_rps",
+                         "deadline_s", "scenarios"],
+            "properties": {
+                "function": {"type": "string"},
+                "snic_platform": {"type": "string"},
+                "scenarios": {
+                    "type": "array",
+                    "minItems": 1,
+                    "items": {
+                        "type": "object",
+                        "required": ["scenario", "availability", "p99_s",
+                                     "dropped"],
+                        "properties": {
+                            "scenario": {"type": "string"},
+                            "availability": {"type": "number"},
+                            # inf/nan serialize to null by design
+                            "p99_inflation": {"type": ["number", "null"]},
+                            "recovery_s": {"type": ["number", "null"]},
+                        },
+                    },
+                },
+            },
+        },
+    },
+    tiers=smoke_tier(),
+))

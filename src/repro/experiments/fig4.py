@@ -17,11 +17,14 @@ from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from .measurement import (
     ACCEL_PLATFORM,
+    OPERATING_POINT_SCHEMA,
     OperatingPoint,
     compute_operating_point,
     operating_point_cache_key,
+    operating_point_json,
 )
 from .profiles import ALL_PROFILE_KEYS, FunctionProfile, get_profile
+from .registry import Experiment, ExperimentContext, register, smoke_tier
 
 logger = logging.getLogger("repro.fig4")
 
@@ -147,6 +150,64 @@ def rows_by_key(rows: List[Fig4Row]) -> Dict[str, Fig4Row]:
     return {row.key: row for row in rows}
 
 
+def fig4_row_json(row: Fig4Row) -> Dict[str, object]:
+    return {
+        "key": row.key,
+        "display": row.display,
+        "category": row.category,
+        "snic_platform": row.snic_platform,
+        "host": operating_point_json(row.host),
+        "snic": operating_point_json(row.snic),
+        "throughput_ratio": row.throughput_ratio,
+        "p99_ratio": row.p99_ratio,
+    }
+
+
+FIG4_ROW_SCHEMA = {
+    "type": "object",
+    "required": ["key", "snic_platform", "host", "snic",
+                 "throughput_ratio", "p99_ratio"],
+    "properties": {
+        "key": {"type": "string"},
+        "snic_platform": {"type": "string"},
+        "host": OPERATING_POINT_SCHEMA,
+        "snic": OPERATING_POINT_SCHEMA,
+        "throughput_ratio": {"type": ["number", "null"]},
+        "p99_ratio": {"type": ["number", "null"]},
+    },
+}
+
+# Smoke keys span every execution layer (UDP stack, kernel-stack KV,
+# RDMA bypass, accelerator batch) *and* cover every key the observation
+# checks index, so `observations --smoke` can resolve its fig4
+# dependency against this subset.
+FIG4_SMOKE_KEYS = (
+    "udp:64",
+    "redis:a",
+    "mica:4",
+    "mica:32",
+    "fio:read",
+    "fio:write",
+    "crypto:aes",
+    "crypto:rsa",
+    "crypto:sha1",
+    "rem:file_image",
+    "rem:file_flash",
+    "rem:file_executable",
+    "compression:app",
+    "compression:txt",
+)
+
+
+def _fig4_runner(ctx: ExperimentContext) -> List[Fig4Row]:
+    fid = ctx.fidelity()
+    kwargs = dict(samples=fid.samples, n_requests=fid.requests,
+                  streams=ctx.streams, executor=ctx.executor)
+    if fid.keys is not None:
+        kwargs["keys"] = fid.keys
+    return run_fig4(**kwargs)
+
+
 def format_fig4(rows: List[Fig4Row]) -> str:
     """Render the figure as an aligned text table."""
     lines = [
@@ -163,3 +224,30 @@ def format_fig4(rows: List[Fig4Row]) -> str:
             f"{row.p99_ratio:>8.2f}"
         )
     return "\n".join(lines)
+
+
+def _fig4_chart(rows: List[Fig4Row]) -> str:
+    from ..analysis.plots import fig4_chart
+
+    return fig4_chart(rows)
+
+
+def _write_fig4_csv(stream, rows: List[Fig4Row]) -> int:
+    from ..analysis.export import write_fig4_csv
+
+    return write_fig4_csv(stream, rows)
+
+
+register(Experiment(
+    name="fig4",
+    title="Fig. 4: throughput and p99 latency, SNIC vs host",
+    description="maximum sustainable throughput and p99 latency of every "
+                "function on both platforms, with SNIC/host ratios",
+    runner=_fig4_runner,
+    formatter=format_fig4,
+    chart=_fig4_chart,
+    csv_writer=_write_fig4_csv,
+    to_json=lambda rows: [fig4_row_json(row) for row in rows],
+    schema={"type": "array", "minItems": 1, "items": FIG4_ROW_SCHEMA},
+    tiers=smoke_tier(keys=FIG4_SMOKE_KEYS),
+))

@@ -21,6 +21,7 @@ from ..core.rng import RandomStreams
 from ..core.units import gbps_to_bytes_per_second
 from .measurement import ACCEL_PLATFORM, run_fixed_rate
 from .profiles import FunctionProfile, get_profile
+from .registry import Experiment, ExperimentContext, register, smoke_tier
 
 logger = logging.getLogger("repro.fig5")
 
@@ -188,3 +189,81 @@ def format_fig5(figure: Dict[str, List[Fig5Series]]) -> str:
                 cells.append(f"{p.achieved_gbps:>10.1f}/{p.p99_latency_s*1e6:>9.1f}")
             lines.append(f"{point.offered_gbps:>12.0f} " + " ".join(c for c in cells))
     return "\n".join(lines)
+
+
+# A short rate ladder that still brackets the accelerator's ~50 Gb/s cap.
+SMOKE_RATES_GBPS = (10, 30, 50)
+
+
+def _fig5_runner(ctx: ExperimentContext) -> Dict[str, List[Fig5Series]]:
+    fid = ctx.fidelity()
+    kwargs = dict(samples=fid.samples, n_requests=fid.requests,
+                  streams=ctx.streams, executor=ctx.executor)
+    if fid.rates_gbps is not None:
+        kwargs["rates_gbps"] = fid.rates_gbps
+    return run_fig5(**kwargs)
+
+
+def _fig5_chart(figure: Dict[str, List[Fig5Series]]) -> str:
+    from ..analysis.plots import fig5_chart
+
+    return "\n\n".join(
+        f"[{ruleset}]\n{fig5_chart(curves)}"
+        for ruleset, curves in figure.items()
+    )
+
+
+def _write_fig5_csv(stream, figure: Dict[str, List[Fig5Series]]) -> int:
+    from ..analysis.export import write_fig5_csv
+
+    return write_fig5_csv(stream, figure)
+
+
+FIG5_SERIES_SCHEMA = {
+    "type": "object",
+    "required": ["label", "ruleset", "platform", "points"],
+    "properties": {
+        "label": {"type": "string"},
+        "ruleset": {"type": "string"},
+        "platform": {"type": "string"},
+        "cores": {"type": ["integer", "null"]},
+        "points": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["offered_gbps", "achieved_gbps",
+                             "p99_latency_s", "saturated"],
+                "properties": {
+                    "offered_gbps": {"type": "number"},
+                    "achieved_gbps": {"type": "number"},
+                    "p99_latency_s": {"type": ["number", "null"]},
+                    "saturated": {"type": "boolean"},
+                },
+            },
+        },
+    },
+}
+
+register(Experiment(
+    name="fig5",
+    title="Fig. 5: REM throughput and p99 latency vs offered rate",
+    description="host matcher at 1/4/8 cores and the REM accelerator "
+                "swept over offered packet rates, per rule set",
+    runner=_fig5_runner,
+    formatter=format_fig5,
+    chart=_fig5_chart,
+    csv_writer=_write_fig5_csv,
+    # Fig5Series dataclasses serialize field-for-field; no custom mapper.
+    schema={
+        "type": "object",
+        "required": ["file_image", "file_executable"],
+        "properties": {
+            "file_image": {"type": "array", "minItems": 1,
+                           "items": FIG5_SERIES_SCHEMA},
+            "file_executable": {"type": "array", "minItems": 1,
+                                "items": FIG5_SERIES_SCHEMA},
+        },
+    },
+    tiers=smoke_tier(rates_gbps=SMOKE_RATES_GBPS),
+))

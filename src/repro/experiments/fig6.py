@@ -16,6 +16,7 @@ from ..calibration import POWER
 from ..core.rng import RandomStreams
 from ..power.energy import EnergyReport, efficiency_ratio
 from .fig4 import FIG4_KEYS, Fig4Row, run_fig4
+from .registry import Experiment, ExperimentContext, register, smoke_tier
 
 
 @dataclass
@@ -90,3 +91,60 @@ def format_fig6(rows: List[Fig6Row]) -> str:
             f"{row.snic_device_w:>9.1f} {row.efficiency_ratio:>9.2f}"
         )
     return "\n".join(lines)
+
+
+def _fig6_chart(rows: List[Fig6Row]) -> str:
+    from ..analysis.plots import fig6_chart
+
+    return fig6_chart(rows)
+
+
+def _write_fig6_csv(stream, rows: List[Fig6Row]) -> int:
+    from ..analysis.export import write_fig6_csv
+
+    return write_fig6_csv(stream, rows)
+
+
+def fig6_row_json(row: Fig6Row) -> dict:
+    return {
+        "key": row.key,
+        "display": row.display,
+        "snic_platform": row.snic_platform,
+        "host_power_w": row.host_power_w,
+        "snic_power_w": row.snic_power_w,
+        "host_device_w": row.host_device_w,
+        "snic_device_w": row.snic_device_w,
+        "host_goodput_gbps": row.host_goodput_gbps,
+        "snic_goodput_gbps": row.snic_goodput_gbps,
+        "efficiency_ratio": row.efficiency_ratio,
+    }
+
+
+register(Experiment(
+    name="fig6",
+    title="Fig. 6: average power and energy efficiency",
+    description="server and device power at each Fig. 4 operating point "
+                "plus SNIC-over-host energy-efficiency ratios",
+    depends=("fig4",),
+    runner=lambda ctx: rows_from_fig4(ctx.run("fig4")),
+    formatter=format_fig6,
+    chart=_fig6_chart,
+    csv_writer=_write_fig6_csv,
+    to_json=lambda rows: [fig6_row_json(row) for row in rows],
+    schema={
+        "type": "array",
+        "minItems": 1,
+        "items": {
+            "type": "object",
+            "required": ["key", "snic_platform", "host_power_w",
+                         "snic_power_w", "efficiency_ratio"],
+            "properties": {
+                "key": {"type": "string"},
+                "host_power_w": {"type": "number"},
+                "snic_power_w": {"type": "number"},
+                "efficiency_ratio": {"type": ["number", "null"]},
+            },
+        },
+    },
+    tiers=smoke_tier(),
+))

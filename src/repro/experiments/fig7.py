@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..workloads.traces import RateTrace, hyperscaler_trace, summarize
+from .registry import Experiment, register, smoke_tier
 
 
 @dataclass
@@ -44,3 +45,32 @@ def format_fig7(result: Fig7Result, width: int = 72, height: int = 12) -> str:
         f"{stats['duration_s']:.0f}s"
     )
     return "\n".join(rows)
+
+
+register(Experiment(
+    name="fig7",
+    title="Fig. 7: network data rates of the hyperscaler trace",
+    description="the synthetic hyperscaler rate trace with its summary "
+                "statistics (the Table 4 replay input)",
+    # The trace is a fixed artifact (seed 2023 regardless of --seed, as
+    # the CLI has always generated it); it is cheap enough to build at
+    # full length even at smoke fidelity.
+    runner=lambda ctx: run_fig7(),
+    formatter=format_fig7,
+    to_json=lambda result: {"stats": dict(result.stats),
+                            "series_gbps": result.series()},
+    schema={
+        "type": "object",
+        "required": ["stats", "series_gbps"],
+        "properties": {
+            "stats": {
+                "type": "object",
+                "required": ["average_gbps", "p50_gbps", "p99_gbps",
+                             "peak_gbps", "duration_s"],
+            },
+            "series_gbps": {"type": "array", "minItems": 1,
+                            "items": {"type": "number"}},
+        },
+    },
+    tiers=smoke_tier(),
+))

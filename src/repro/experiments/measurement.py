@@ -100,6 +100,37 @@ class OperatingPoint:
         )
 
 
+def operating_point_json(point: "OperatingPoint") -> Dict[str, object]:
+    """The stable machine-readable view of one operating point, shared
+    by every experiment's ``--json`` artifact."""
+    return {
+        "platform": point.platform,
+        "capacity_rps": point.capacity_rps,
+        "throughput_rps": point.throughput_rps,
+        "goodput_gbps": point.goodput_gbps,
+        "p99_latency_s": point.p99_latency_s,
+        "server_power_w": point.server_power_w,
+        "device_power_w": point.device_power_w,
+    }
+
+
+# Schema fragment for :func:`operating_point_json` payloads.
+OPERATING_POINT_SCHEMA = {
+    "type": "object",
+    "required": ["platform", "capacity_rps", "throughput_rps",
+                 "goodput_gbps", "p99_latency_s", "server_power_w"],
+    "properties": {
+        "platform": {"type": "string"},
+        "capacity_rps": {"type": "number"},
+        "throughput_rps": {"type": "number"},
+        "goodput_gbps": {"type": "number"},
+        "p99_latency_s": {"type": "number"},
+        "server_power_w": {"type": "number"},
+        "device_power_w": {"type": "number"},
+    },
+}
+
+
 # ---------------------------------------------------------------------------
 # Service samplers
 # ---------------------------------------------------------------------------

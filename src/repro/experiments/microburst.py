@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.executor import ParallelExecutor, WorkUnit
 from ..core.queueing import outcome_to_metrics, simulate_batch_server, simulate_sharded
 from ..core.rng import RandomStreams
 from ..core.units import gbps_to_bytes_per_second
@@ -28,6 +29,7 @@ from .measurement import (
     cpu_service_seconds,
 )
 from .profiles import FunctionProfile, get_profile
+from .registry import Experiment, ExperimentContext, register, smoke_tier
 
 
 @dataclass
@@ -154,23 +156,54 @@ def _measure(
     )
 
 
+def _burst_point(
+    platform: str,
+    mean_gbps: float,
+    peak_to_mean: float,
+    seed: int,
+    samples: int,
+    n_requests: int,
+) -> BurstPoint:
+    """Picklable work unit: one (platform, burst-intensity) cell.
+
+    Rebuilds the profile and a fresh ``RandomStreams(seed)``; the cell's
+    draws come from the ``burst:{platform}:{ratio}`` substream, a name no
+    other cell uses, so results are schedule-independent.
+    """
+    profile = get_profile("rem:file_executable@mtu", samples=samples)
+    return _measure(profile, platform, mean_gbps, peak_to_mean,
+                    RandomStreams(seed), n_requests)
+
+
 def run_microburst_study(
     mean_gbps: float = 20.0,
     peak_to_mean_ratios: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
     samples: int = 150,
     n_requests: int = 12_000,
     streams: Optional[RandomStreams] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Dict[str, List[BurstPoint]]:
-    """REM under bursty load: host (8 cores) vs the accelerator."""
+    """REM under bursty load: host (8 cores) vs the accelerator.
+
+    Every (ratio, platform) cell is an independent work unit, so a
+    shared ``executor`` fans them out with output identical to the
+    serial run.
+    """
     streams = streams or RandomStreams(77)
-    profile = get_profile("rem:file_executable@mtu", samples=samples)
+    seed = streams.root_seed
+    executor = executor or ParallelExecutor(1)
+    grid = [(float(ratio), platform)
+            for ratio in peak_to_mean_ratios
+            for platform in ("host", ACCEL_PLATFORM)]
+    units = [
+        WorkUnit(name=f"microburst:{platform}:{ratio:g}", fn=_burst_point,
+                 args=(platform, mean_gbps, ratio, seed, samples, n_requests))
+        for ratio, platform in grid
+    ]
+    points = executor.map(units)
     results: Dict[str, List[BurstPoint]] = {"host": [], ACCEL_PLATFORM: []}
-    for ratio in peak_to_mean_ratios:
-        for platform in ("host", ACCEL_PLATFORM):
-            results[platform].append(
-                _measure(profile, platform, mean_gbps, float(ratio), streams,
-                         n_requests)
-            )
+    for (_, platform), point in zip(grid, points):
+        results[platform].append(point)
     return results
 
 
@@ -187,3 +220,45 @@ def format_microburst(results: Dict[str, List[BurstPoint]]) -> str:
             f"{accel_point.p99_latency_s*1e6:>13.1f}"
         )
     return "\n".join(lines)
+
+
+def _microburst_runner(ctx: ExperimentContext) -> Dict[str, List[BurstPoint]]:
+    fid = ctx.fidelity()
+    return run_microburst_study(samples=fid.samples, n_requests=fid.requests,
+                                streams=ctx.streams, executor=ctx.executor)
+
+
+register(Experiment(
+    name="microburst",
+    title="Microburst tolerance: bursty REM load, host vs accelerator",
+    description="REM at a fixed mean rate delivered in on/off bursts of "
+                "increasing peak-to-mean ratio",
+    runner=_microburst_runner,
+    formatter=format_microburst,
+    to_json=lambda results: {
+        platform: [
+            {"peak_to_mean": p.peak_to_mean, "mean_gbps": p.mean_gbps,
+             "p99_latency_s": p.p99_latency_s,
+             "loss_fraction": p.loss_fraction}
+            for p in points
+        ]
+        for platform, points in results.items()
+    },
+    schema={
+        "type": "object",
+        "required": ["host", ACCEL_PLATFORM],
+        "properties": {
+            platform: {
+                "type": "array",
+                "minItems": 1,
+                "items": {
+                    "type": "object",
+                    "required": ["peak_to_mean", "mean_gbps",
+                                 "p99_latency_s", "loss_fraction"],
+                },
+            }
+            for platform in ("host", ACCEL_PLATFORM)
+        },
+    },
+    tiers=smoke_tier(),
+))

@@ -87,3 +87,44 @@ def format_mode_study(results: Dict[str, ModeResult]) -> str:
         f"(off-path: {off_path.snic_cpu_packets})"
     )
     return "\n".join(lines)
+
+
+def _register() -> None:
+    from .registry import Experiment, register, smoke_tier
+
+    register(Experiment(
+        name="modes",
+        title="Operation modes: the on-path tax for host-bound traffic",
+        description="packet-accurate on-path vs off-path RTT and SNIC-CPU "
+                    "occupancy for host-terminated echo traffic",
+        # A few hundred packets through the event engine; the study is
+        # already smoke-fast, so both tiers run it as-is.
+        runner=lambda ctx: run_mode_study(),
+        formatter=format_mode_study,
+        to_json=lambda results: {
+            mode: {"mean_rtt_s": r.mean_rtt_s, "p99_rtt_s": r.p99_rtt_s,
+                   "snic_cpu_packets": r.snic_cpu_packets}
+            for mode, r in results.items()
+        },
+        schema={
+            "type": "object",
+            "required": ["on-path", "off-path"],
+            "properties": {
+                mode: {
+                    "type": "object",
+                    "required": ["mean_rtt_s", "p99_rtt_s",
+                                 "snic_cpu_packets"],
+                    "properties": {
+                        "mean_rtt_s": {"type": "number"},
+                        "p99_rtt_s": {"type": "number"},
+                        "snic_cpu_packets": {"type": "integer"},
+                    },
+                }
+                for mode in ("on-path", "off-path")
+            },
+        },
+        tiers=smoke_tier(),
+    ))
+
+
+_register()

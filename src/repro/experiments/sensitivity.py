@@ -13,10 +13,17 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from .. import calibration
+from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from .fig4 import snic_platform_for
-from .measurement import ACCEL_PLATFORM, measure_operating_point
+from .measurement import (
+    ACCEL_PLATFORM,
+    compute_operating_point,
+    measure_operating_point,
+    operating_point_cache_key,
+)
 from .profiles import get_profile
+from .registry import Experiment, ExperimentContext, register, smoke_tier
 
 
 @dataclass(frozen=True)
@@ -82,6 +89,37 @@ class SensitivityRow:
     ratio: float  # SNIC/host max throughput
 
 
+def _snic_point_under_design(
+    key: str,
+    design: SnicDesign,
+    salt: int,
+    seed: int,
+    samples: int,
+    n_requests: int,
+) -> float:
+    """Picklable work unit: SNIC throughput under a hypothetical design.
+
+    Applies the design to the global calibration for the duration of the
+    measurement and always restores it (workers keep module state across
+    units).  Substreams rebuild from ``(seed, salt)`` exactly as the
+    serial loop's ``streams.fork(salt)`` derived them.
+    """
+    profile = get_profile(key, samples=samples)
+    original_platform = calibration.PLATFORMS["snic-cpu"]
+    original_engines = dict(calibration.ACCELERATORS)
+    _apply_design(design)
+    try:
+        point = measure_operating_point(
+            profile, snic_platform_for(profile), RandomStreams(seed).fork(salt),
+            n_requests,
+        )
+    finally:
+        calibration.PLATFORMS["snic-cpu"] = original_platform
+        calibration.ACCELERATORS.clear()
+        calibration.ACCELERATORS.update(original_engines)
+    return point.throughput_rps
+
+
 def run_sensitivity(
     keys: Sequence[str] = ("redis:a", "mica:32", "bm25:1k",
                            "rem:file_executable", "compression:txt"),
@@ -89,35 +127,48 @@ def run_sensitivity(
     samples: int = 150,
     n_requests: int = 8_000,
     streams: Optional[RandomStreams] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> List[SensitivityRow]:
+    """Sweep hypothetical SNIC designs over representative functions.
+
+    Host baselines go through the content-addressed operating-point
+    cache; each (key, design) what-if is an independent work unit fanned
+    through ``executor`` with output identical to the serial run.
+    """
     streams = streams or RandomStreams(41)
+    seed = streams.root_seed
+    executor = executor or ParallelExecutor(1)
+
+    host_args = [(key, "host", seed, samples, n_requests) for key in keys]
+    host_points = map_cached(
+        executor,
+        [WorkUnit(name=f"sensitivity:{key}:host", fn=compute_operating_point,
+                  args=args) for key, args in zip(keys, host_args)],
+        [operating_point_cache_key(*args) for args in host_args],
+    )
+    snic_units = [
+        WorkUnit(
+            name=f"sensitivity:{key}:{design.name}",
+            fn=_snic_point_under_design,
+            args=(key, design, 100 + index, seed, samples, n_requests),
+        )
+        for key in keys
+        for index, design in enumerate(designs)
+    ]
+    snic_rps = executor.map(snic_units)
+
     rows: List[SensitivityRow] = []
-    original_platform = calibration.PLATFORMS["snic-cpu"]
-    original_engines = dict(calibration.ACCELERATORS)
-    try:
-        for key in keys:
-            profile = get_profile(key, samples=samples)
-            host = measure_operating_point(profile, "host", streams, n_requests)
-            snic_platform = snic_platform_for(profile)
-            for index, design in enumerate(designs):
-                _apply_design(design)
-                snic = measure_operating_point(
-                    profile, snic_platform, streams.fork(100 + index), n_requests
+    cell = 0
+    for key, host in zip(keys, host_points):
+        for design in designs:
+            rows.append(
+                SensitivityRow(
+                    key=key,
+                    design=design.name,
+                    ratio=snic_rps[cell] / max(host.throughput_rps, 1e-9),
                 )
-                rows.append(
-                    SensitivityRow(
-                        key=key,
-                        design=design.name,
-                        ratio=snic.throughput_rps / max(host.throughput_rps, 1e-9),
-                    )
-                )
-                calibration.PLATFORMS["snic-cpu"] = original_platform
-                calibration.ACCELERATORS.clear()
-                calibration.ACCELERATORS.update(original_engines)
-    finally:
-        calibration.PLATFORMS["snic-cpu"] = original_platform
-        calibration.ACCELERATORS.clear()
-        calibration.ACCELERATORS.update(original_engines)
+            )
+            cell += 1
     return rows
 
 
@@ -142,3 +193,36 @@ def format_sensitivity(rows: List[SensitivityRow]) -> str:
         lines.append(f"{key:<24}" + cells + ("   << flips" if flip else ""))
     lines.append("\n(cells: SNIC/host max-throughput ratio; >1 means the SNIC wins)")
     return "\n".join(lines)
+
+
+def _sensitivity_runner(ctx: ExperimentContext) -> List[SensitivityRow]:
+    fid = ctx.fidelity()
+    return run_sensitivity(samples=fid.samples, n_requests=fid.requests,
+                           streams=ctx.streams, executor=ctx.executor)
+
+
+register(Experiment(
+    name="sensitivity",
+    title="Future-SNIC sensitivity: where Fig. 4 conclusions flip",
+    description="hypothetical SNIC designs (more/faster cores, better "
+                "memory, faster engines) swept over representative keys",
+    runner=_sensitivity_runner,
+    formatter=format_sensitivity,
+    to_json=lambda rows: [
+        {"key": r.key, "design": r.design, "ratio": r.ratio} for r in rows
+    ],
+    schema={
+        "type": "array",
+        "minItems": 1,
+        "items": {
+            "type": "object",
+            "required": ["key", "design", "ratio"],
+            "properties": {
+                "key": {"type": "string"},
+                "design": {"type": "string"},
+                "ratio": {"type": ["number", "null"]},
+            },
+        },
+    },
+    tiers=smoke_tier(),
+))

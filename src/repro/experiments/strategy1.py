@@ -14,9 +14,15 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from .. import calibration
+from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
-from .measurement import measure_operating_point
+from .measurement import (
+    compute_operating_point,
+    measure_operating_point,
+    operating_point_cache_key,
+)
 from .profiles import get_profile
+from .registry import Experiment, ExperimentContext, register, smoke_tier
 
 DEFAULT_KEYS = ("udp:64", "redis:a", "nat:10k", "bm25:1k", "snort:file_executable")
 
@@ -77,39 +83,85 @@ def _snic_with_offload(scenario: OffloadScenario) -> calibration.PlatformCalibra
     return replace(base, stacks=stacks)
 
 
+def _snic_point_under_offload(
+    key: str,
+    scenario: OffloadScenario,
+    salt: int,
+    seed: int,
+    samples: int,
+    n_requests: int,
+) -> float:
+    """Picklable work unit: SNIC throughput with the scenario applied.
+
+    Swaps the SNIC CPU calibration for the duration of the measurement
+    and always restores it — required both for the in-process serial
+    path and for pooled workers, whose module state persists across
+    units.  RNG substreams rebuild from ``(seed, salt)`` exactly as the
+    serial loop's ``streams.fork(salt)`` derived them.
+    """
+    profile = get_profile(key, samples=samples)
+    original = calibration.PLATFORMS["snic-cpu"]
+    calibration.PLATFORMS["snic-cpu"] = _snic_with_offload(scenario)
+    try:
+        point = measure_operating_point(
+            profile, "snic-cpu", RandomStreams(seed).fork(salt), n_requests
+        )
+    finally:
+        calibration.PLATFORMS["snic-cpu"] = original
+    return point.throughput_rps
+
+
 def run_strategy1(
     keys: Sequence[str] = DEFAULT_KEYS,
     scenarios: Sequence[OffloadScenario] = SCENARIOS,
     samples: int = 150,
     n_requests: int = 8_000,
     streams: Optional[RandomStreams] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> List[Strategy1Row]:
     """Measure each function under each stack-offload scenario.
 
-    Temporarily swaps the SNIC CPU calibration; always restores it.
+    Host baselines are canonical-calibration operating points, so they
+    go through the content-addressed cache (free after a fig4 run at
+    the same fidelity/seed); the what-if SNIC points re-price the stack
+    per scenario inside their own work units, so every (key, scenario)
+    cell fans out through ``executor`` deterministically.
     """
     streams = streams or RandomStreams(31)
+    seed = streams.root_seed
+    executor = executor or ParallelExecutor(1)
+
+    host_args = [(key, "host", seed, samples, n_requests) for key in keys]
+    host_points = map_cached(
+        executor,
+        [WorkUnit(name=f"strategy1:{key}:host", fn=compute_operating_point,
+                  args=args) for key, args in zip(keys, host_args)],
+        [operating_point_cache_key(*args) for args in host_args],
+    )
+    snic_units = [
+        WorkUnit(
+            name=f"strategy1:{key}:{scenario.name}",
+            fn=_snic_point_under_offload,
+            args=(key, scenario, index + 1, seed, samples, n_requests),
+        )
+        for key in keys
+        for index, scenario in enumerate(scenarios)
+    ]
+    snic_rps = executor.map(snic_units)
+
     rows: List[Strategy1Row] = []
-    original = calibration.PLATFORMS["snic-cpu"]
-    try:
-        for key in keys:
-            profile = get_profile(key, samples=samples)
-            host = measure_operating_point(profile, "host", streams, n_requests)
-            for index, scenario in enumerate(scenarios):
-                calibration.PLATFORMS["snic-cpu"] = _snic_with_offload(scenario)
-                snic = measure_operating_point(
-                    profile, "snic-cpu", streams.fork(index + 1), n_requests
+    cell = 0
+    for key, host in zip(keys, host_points):
+        for scenario in scenarios:
+            rows.append(
+                Strategy1Row(
+                    key=key,
+                    scenario=scenario.name,
+                    snic_throughput_rps=snic_rps[cell],
+                    host_throughput_rps=host.throughput_rps,
                 )
-                rows.append(
-                    Strategy1Row(
-                        key=key,
-                        scenario=scenario.name,
-                        snic_throughput_rps=snic.throughput_rps,
-                        host_throughput_rps=host.throughput_rps,
-                    )
-                )
-    finally:
-        calibration.PLATFORMS["snic-cpu"] = original
+            )
+            cell += 1
     return rows
 
 
@@ -136,3 +188,41 @@ def format_strategy1(rows: List[Strategy1Row]) -> str:
     lines.append("")
     lines.append("(cells: SNIC/host max-throughput ratio)")
     return "\n".join(lines)
+
+
+def _strategy1_runner(ctx: ExperimentContext) -> List[Strategy1Row]:
+    fid = ctx.fidelity()
+    return run_strategy1(samples=fid.samples, n_requests=fid.requests,
+                         streams=ctx.streams, executor=ctx.executor)
+
+
+register(Experiment(
+    name="strategy1",
+    title="Strategy 1: SNIC kernel-stack offload what-if",
+    description="Fig. 4 points re-measured with fractions of the SNIC "
+                "stack moved to NIC hardware (AccelTCP/FlexTOE-style)",
+    runner=_strategy1_runner,
+    formatter=format_strategy1,
+    to_json=lambda rows: [
+        {"key": r.key, "scenario": r.scenario,
+         "snic_throughput_rps": r.snic_throughput_rps,
+         "host_throughput_rps": r.host_throughput_rps,
+         "ratio": r.ratio}
+        for r in rows
+    ],
+    schema={
+        "type": "array",
+        "minItems": 1,
+        "items": {
+            "type": "object",
+            "required": ["key", "scenario", "snic_throughput_rps",
+                         "host_throughput_rps", "ratio"],
+            "properties": {
+                "key": {"type": "string"},
+                "scenario": {"type": "string"},
+                "ratio": {"type": ["number", "null"]},
+            },
+        },
+    },
+    tiers=smoke_tier(),
+))

@@ -14,6 +14,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.cache import cache_key, get_cache
+from ..core.executor import ParallelExecutor, WorkUnit
 from ..core.rng import RandomStreams
 from ..core.units import gbps_to_bytes_per_second
 from ..power.models import ServerPowerModel, SnicPowerModel
@@ -24,6 +25,7 @@ from .measurement import (
     run_fixed_rate,
 )
 from .profiles import get_profile
+from .registry import Experiment, ExperimentContext, register, smoke_tier
 
 
 @dataclass
@@ -97,16 +99,19 @@ def run_table4(
     samples: int = 200,
     n_requests: int = 8_000,
     streams: Optional[RandomStreams] = None,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Table4Result:
     """REM on the hyperscaler trace: host CPU vs SNIC accelerator.
 
     Default-trace replays are memoized on (fidelity, seed) — the report
     generator and Table 5 both need this result, and it is a pure
     function of those inputs (all substreams derive from the root seed).
+    The two platform replays are independent work units, so a shared
+    ``executor`` fans them out with output identical to the serial run.
     """
     streams = streams or RandomStreams()
     if trace is not None:
-        return _compute_table4(trace, samples, n_requests, streams)
+        return _compute_table4(trace, samples, n_requests, streams, executor)
     store = get_cache()
     key = cache_key("table4", samples, n_requests, streams.root_seed)
     found, result = store.get(key)
@@ -114,10 +119,24 @@ def run_table4(
         return result
     result = _compute_table4(
         hyperscaler_trace(), samples, n_requests,
-        RandomStreams(streams.root_seed),
+        RandomStreams(streams.root_seed), executor,
     )
     store.put(key, result)
     return result
+
+
+def _compute_platform_cell(
+    platform: str, trace: RateTrace, samples: int, n_requests: int, seed: int
+) -> Table4Cell:
+    """Picklable work unit: one platform's trace replay.
+
+    Rebuilds the profile and a fresh ``RandomStreams(seed)``; every rate
+    bin derives its substream from ``(seed, key:platform:rate)``, so the
+    cell is independent of which process computes it.
+    """
+    profile = get_profile("rem:file_executable@mtu", samples=samples)
+    return _measure_platform(profile, platform, trace, RandomStreams(seed),
+                             n_requests)
 
 
 def _compute_table4(
@@ -125,10 +144,16 @@ def _compute_table4(
     samples: int,
     n_requests: int,
     streams: RandomStreams,
+    executor: Optional[ParallelExecutor] = None,
 ) -> Table4Result:
-    profile = get_profile("rem:file_executable@mtu", samples=samples)
-    host = _measure_platform(profile, "host", trace, streams, n_requests)
-    snic = _measure_platform(profile, ACCEL_PLATFORM, trace, streams, n_requests)
+    executor = executor or ParallelExecutor(1)
+    units = [
+        WorkUnit(name=f"table4:{platform}", fn=_compute_platform_cell,
+                 args=(platform, trace, samples, n_requests,
+                       streams.root_seed))
+        for platform in ("host", ACCEL_PLATFORM)
+    ]
+    host, snic = executor.map(units)
     host.platform, snic.platform = "host", "snic"
     return Table4Result(host=host, snic=snic, trace_average_gbps=trace.average_gbps())
 
@@ -144,3 +169,47 @@ def format_table4(result: Table4Result) -> str:
         f"{result.snic.average_power_w:>16.2f}",
     ]
     return "\n".join(lines)
+
+
+def _table4_runner(ctx: ExperimentContext) -> Table4Result:
+    fid = ctx.fidelity()
+    return run_table4(samples=fid.samples, n_requests=fid.requests,
+                      streams=ctx.streams, executor=ctx.executor)
+
+
+_TABLE4_CELL_SCHEMA = {
+    "type": "object",
+    "required": ["throughput_gbps", "p99_latency_us", "average_power_w"],
+    "properties": {
+        "throughput_gbps": {"type": "number"},
+        "p99_latency_us": {"type": "number"},
+        "average_power_w": {"type": "number"},
+    },
+}
+
+register(Experiment(
+    name="table4",
+    title="Table 4: REM replaying the hyperscaler trace",
+    description="host CPU vs SNIC accelerator sustaining the Fig. 7 "
+                "trace: throughput, p99 latency, and average power",
+    runner=_table4_runner,
+    formatter=format_table4,
+    to_json=lambda result: {
+        "cells": result.as_dict(),
+        "trace_average_gbps": result.trace_average_gbps,
+    },
+    schema={
+        "type": "object",
+        "required": ["cells", "trace_average_gbps"],
+        "properties": {
+            "cells": {
+                "type": "object",
+                "required": ["host", "snic"],
+                "properties": {"host": _TABLE4_CELL_SCHEMA,
+                               "snic": _TABLE4_CELL_SCHEMA},
+            },
+            "trace_average_gbps": {"type": "number"},
+        },
+    },
+    tiers=smoke_tier(),
+))

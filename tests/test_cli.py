@@ -59,9 +59,14 @@ class TestParser:
         assert args.experiment == "fig4"
         assert args.smoke
 
+    def test_trace_verb_accepts_any_registered_experiment(self):
+        # the trace verb is a registry walk: every registered verb traces
+        args = build_parser().parse_args(["trace", "table4"])
+        assert args.experiment == "table4"
+
     def test_trace_verb_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["trace", "table4"])
+            build_parser().parse_args(["trace", "not-an-experiment"])
 
     def test_log_level_flag(self):
         args = build_parser().parse_args(["--log-level", "debug", "fig7"])
