@@ -96,7 +96,7 @@ def write_fig6_csv(stream: IO[str], rows: Sequence) -> int:
 ARTIFACT_SCHEMA: Dict[str, Any] = {
     "type": "object",
     "required": ["experiment", "title", "tier", "seed", "fidelity",
-                 "code_version", "result"],
+                 "code_version", "result", "partial"],
     "properties": {
         "experiment": {"type": "string"},
         "title": {"type": "string"},
@@ -111,6 +111,11 @@ ARTIFACT_SCHEMA: Dict[str, Any] = {
                 "requests": {"type": "integer"},
             },
         },
+        # Run-farm degradation: a partial artifact carries a null (or
+        # incomplete) result plus the quarantined unit names; its
+        # "result" payload is NOT validated against the spec schema.
+        "partial": {"type": "boolean"},
+        "quarantined": {"type": "array", "items": {"type": "string"}},
     },
 }
 
@@ -147,8 +152,15 @@ def build_artifact(
     seed: int,
     fidelity: Mapping[str, Any],
     result: Any,
+    partial: bool = False,
+    quarantined: Sequence[str] = (),
 ) -> Dict[str, Any]:
-    """The machine-readable envelope around one experiment's result."""
+    """The machine-readable envelope around one experiment's result.
+
+    ``partial=True`` marks a run-farm degraded artifact: the supervisor
+    quarantined the named units, ``result`` may be ``null``, and
+    downstream schema validation of the result payload is skipped.
+    """
     from ..core.cache import CODE_VERSION
 
     return {
@@ -158,6 +170,8 @@ def build_artifact(
         "seed": seed,
         "fidelity": to_jsonable(dict(fidelity)),
         "code_version": CODE_VERSION,
+        "partial": bool(partial),
+        "quarantined": [str(name) for name in quarantined],
         "result": to_jsonable(result),
     }
 

@@ -196,6 +196,18 @@ def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
         "figures run the fixed cold ladder — saved probes never change a",
         "measured number, only how fast ad-hoc sweeps converge.",
         "",
+        "**Partial results never produce a verdict.**  Under run-farm",
+        "supervision (DESIGN.md §11) a consistently failing work unit can be",
+        "quarantined; experiments that declare partial-results degradation",
+        "then exit with code 3 and a `PARTIAL RESULTS` notice instead of a",
+        "table, and any `--json` artifact is marked `\"partial\": true` with",
+        "`\"result\": null`.  No row of this file, no Key Observation, and no",
+        "offload verdict is ever derived from a partial run — the quantities",
+        "here come only from runs where every unit completed.  Resume the run",
+        "(`--resume <run-dir>`) to finish the quarantined units; because units",
+        "are pure, the completed rerun is byte-identical to an uninterrupted",
+        "one.",
+        "",
         "| artifact | quantity | paper | measured | status |",
         "|---|---|---|---|---|",
     ]
@@ -312,6 +324,15 @@ def generate_report(
     faults = ctx.run("faults")
     verdicts = ctx.run("observations")
 
+    # The fault study degrades to a partial-results verdict when the
+    # run-farm supervisor quarantined some of its scenario units: the
+    # report still renders, with the degradation notice in place of the
+    # availability table.
+    from ..experiments.registry import PartialResult
+
+    faults_text = (faults.notice() if isinstance(faults, PartialResult)
+                   else format_faults(faults))
+
     anchor_rows = collect_anchor_rows(fig4_rows, fig6_rows, fig5_curves,
                                       table4, table5)
     return render_report(
@@ -319,7 +340,7 @@ def generate_report(
         format_verdicts(verdicts),
         format_comparison(table5.comparisons),
         fig7.stats,
-        faults_text=format_faults(faults),
+        faults_text=faults_text,
         attribution_text=format_attribution_markdown(
             attribution_rows_from_fig4(fig4_rows)),
     )

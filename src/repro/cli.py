@@ -26,6 +26,20 @@ write ``trace.jsonl`` + Chrome ``trace.json`` on exit), ``--trace-dir``
 (where to write them; implies ``--trace``) and ``--log-level`` (the
 ``repro.*`` logger hierarchy).  The timing footer on stderr always
 prints — even when a verb fails — with probe/cache/kernel/trace totals.
+
+Run-farm supervision (``--run-dir``, ``--resume``, ``--unit-timeout``,
+``--max-unit-attempts``) journals every work unit to a resumable
+manifest, enforces per-unit wall-clock deadlines with SIGKILL, retries
+failures with backoff, and quarantines poison pills::
+
+    python -m repro report --jobs 4 --run-dir runs/report
+    # ... driver or worker dies mid-run (kill -9, OOM, Ctrl-C) ...
+    python -m repro report --jobs 4 --resume runs/report
+    # only incomplete units re-execute; output is byte-identical
+
+A run that completes with quarantined units exits with code 3 and (for
+``degradation="partial"`` experiments, or via ``--json``) produces a
+partial-results artifact instead of nothing.
 """
 
 from __future__ import annotations
@@ -39,11 +53,30 @@ from typing import List, Optional
 
 from .analysis.report import generate_report
 from .core import instrument, trace
-from .core.cache import ResultCache, configure
+from .core.cache import CODE_VERSION, ResultCache, configure
 from .core.executor import ParallelExecutor
 from .core.rng import RandomStreams
 from .experiments import registry
-from .experiments.registry import DEFAULT_TIER, SMOKE_TIER, ExperimentContext
+from .experiments.registry import (
+    DEFAULT_TIER,
+    SMOKE_TIER,
+    ExperimentContext,
+    PartialResult,
+)
+from .faults.retry import RetryPolicy
+from .runfarm import (
+    QuarantinedUnitError,
+    RunManifest,
+    SupervisedExecutor,
+    SupervisorConfig,
+)
+from .runfarm.supervisor import DEFAULT_RETRY, load_prior_done
+
+# A supervised run that finished with quarantined poison-pill units:
+# every healthy unit completed (and is journaled + stored for resume),
+# but the artifact is partial.  Distinct from argparse's 2 and the
+# observations verdict's 1.
+EXIT_PARTIAL = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="window for queue-depth/utilization series "
                              "in the trace")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="run under the run-farm supervisor, journaling "
+                             "every work unit to DIR/manifest.jsonl and "
+                             "storing artifacts in DIR/artifacts (resumable "
+                             "with --resume DIR)")
+    parser.add_argument("--resume", default=None, metavar="MANIFEST",
+                        help="resume an interrupted supervised run from its "
+                             "manifest file (or run directory): completed "
+                             "units are served from the artifact store, only "
+                             "incomplete units re-execute")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-work-unit wall-clock deadline; a unit that "
+                             "exceeds it is SIGKILLed and requeued "
+                             "(implies run-farm supervision)")
+    parser.add_argument("--max-unit-attempts", type=int, default=None,
+                        metavar="N",
+                        help="attempts before a failing unit is quarantined "
+                             "as a poison pill (default 3; implies run-farm "
+                             "supervision)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def _mirror_common(p: argparse.ArgumentParser) -> None:
@@ -105,6 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-dir", metavar="DIR",
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
         p.add_argument("--metrics-interval", type=float, metavar="SECONDS",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--run-dir", metavar="DIR",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--resume", metavar="MANIFEST",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--unit-timeout", type=float, metavar="SECONDS",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--max-unit-attempts", type=int, metavar="N",
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     # One verb per registered experiment, in the paper's artifact order.
@@ -177,20 +238,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.metrics_interval <= 0:
         parser.error("--metrics-interval must be positive")
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        parser.error("--unit-timeout must be positive")
+    if args.max_unit_attempts is not None and args.max_unit_attempts < 1:
+        parser.error("--max-unit-attempts must be >= 1")
+    if args.run_dir and args.resume:
+        parser.error("--run-dir and --resume are mutually exclusive "
+                     "(--resume already names the run directory)")
     _configure_logging(args.log_level)
     instrument.reset()
+    # Run-farm supervision activates when any runfarm flag is given;
+    # --resume additionally adopts the original run's fidelity so the
+    # resumed output is byte-identical.  Must run before the cache is
+    # configured (the run dir doubles as the artifact store) and before
+    # the streams are built (resume may override --seed).
+    executor: ParallelExecutor
+    if _runfarm_active(args):
+        executor = _setup_runfarm(args, parser)
+    else:
+        # One executor (one worker pool) for the whole invocation:
+        # every phase of a multi-phase verb reuses the same workers
+        # instead of re-paying pool startup per batch.
+        executor = ParallelExecutor(args.jobs)
     configure(ResultCache(cache_dir=args.cache_dir))
     streams = RandomStreams(args.seed)
     tracing = args.trace or args.trace_dir is not None or args.command == "trace"
     if tracing:
         trace.enable(metrics_interval_s=args.metrics_interval)
     started = time.time()
-    # One executor (one worker pool) for the whole invocation: every
-    # phase of a multi-phase verb reuses the same workers instead of
-    # re-paying pool startup per batch.
-    executor = ParallelExecutor(args.jobs)
     try:
-        return _dispatch(args, streams, executor)
+        try:
+            return _dispatch(args, streams, executor)
+        except QuarantinedUnitError as exc:
+            # An abort-degradation experiment (or the report) finished
+            # its healthy units but quarantined poison pills.  All
+            # progress is journaled; tell the operator how to retry.
+            print(f"RUN INCOMPLETE: {exc}", file=sys.stderr)
+            resume_hint = args.resume or args.run_dir
+            if resume_hint:
+                print(f"resume with: --resume {resume_hint}",
+                      file=sys.stderr)
+            return EXIT_PARTIAL
     finally:
         # The footer (and any trace files) must survive a failing verb:
         # a run that died mid-study still reports what it actually did.
@@ -199,11 +287,90 @@ def main(argv: Optional[List[str]] = None) -> int:
             if tracing:
                 _write_trace_files(args.trace_dir or ".")
         finally:
-            _print_footer(started)
+            _print_footer(started, executor)
             trace.disable()
 
 
-def _print_footer(started: float) -> None:
+def _runfarm_active(args) -> bool:
+    return bool(args.run_dir or args.resume
+                or args.unit_timeout is not None
+                or args.max_unit_attempts is not None)
+
+
+def _setup_runfarm(args, parser) -> ParallelExecutor:
+    """Build the supervised executor (and mutate args for resume/cache).
+
+    Resolves the run directory (``--run-dir``, the ``--resume`` target,
+    or ``runs/<verb>`` when only timeout/attempt flags are given), opens
+    the manifest, adopts a resumed run's fidelity knobs, and points the
+    result cache at the run's artifact store unless ``--cache-dir`` was
+    given explicitly.
+    """
+    if args.resume:
+        manifest_path = args.resume
+        if os.path.isdir(manifest_path):
+            manifest_path = os.path.join(manifest_path, "manifest.jsonl")
+        if not os.path.exists(manifest_path):
+            parser.error(f"--resume: no manifest at {args.resume}")
+        state = RunManifest.load(manifest_path)
+        header = state.header
+        if header.get("verb") and header["verb"] != args.command:
+            parser.error(
+                f"--resume: manifest {manifest_path} was recorded by "
+                f"'{header['verb']}', not '{args.command}'"
+            )
+        if header.get("code_version") not in (None, CODE_VERSION):
+            # Not fatal: cache keys are salted by CODE_VERSION, so stale
+            # artifacts simply miss and re-execute.
+            print(f"warning: resuming a manifest from code version "
+                  f"{header['code_version']} under {CODE_VERSION}; "
+                  f"all units will re-execute", file=sys.stderr)
+        # Adopt the original run's fidelity so the resumed output is
+        # byte-identical to an uninterrupted run.
+        args.seed = int(header.get("seed", args.seed))
+        args.samples = int(header.get("samples", args.samples))
+        args.requests = int(header.get("requests", args.requests))
+        if header.get("tier"):
+            args.smoke = header["tier"] == SMOKE_TIER
+        run_dir = state.run_dir
+        print(f"resuming {manifest_path}: {state.summary()}",
+              file=sys.stderr)
+    else:
+        run_dir = args.run_dir or os.path.join("runs", args.command)
+    manifest = RunManifest(run_dir)
+    prior_done = load_prior_done(manifest.path)
+    if args.cache_dir is None:
+        # The run directory doubles as the artifact store: completed
+        # units are resume-served straight from it.
+        args.cache_dir = os.path.join(run_dir, "artifacts")
+    retry = DEFAULT_RETRY
+    if args.max_unit_attempts is not None:
+        retry = RetryPolicy(
+            timeout_s=retry.timeout_s,
+            max_attempts=args.max_unit_attempts,
+            backoff_factor=retry.backoff_factor,
+            jitter_fraction=retry.jitter_fraction,
+            max_elapsed_s=retry.max_elapsed_s,
+        )
+    config = SupervisorConfig(
+        unit_timeout_s=args.unit_timeout,
+        retry=retry,
+        heartbeat_dir=os.path.join(run_dir, "heartbeats"),
+    )
+    executor = SupervisedExecutor(args.jobs, manifest=manifest,
+                                  config=config, prior_done=prior_done)
+    manifest.begin_generation(
+        verb=args.command, seed=args.seed, samples=args.samples,
+        requests=args.requests,
+        tier=SMOKE_TIER if args.smoke else DEFAULT_TIER,
+        jobs=args.jobs, code_version=CODE_VERSION,
+        argv=list(sys.argv[1:]),
+    )
+    return executor
+
+
+def _print_footer(started: float,
+                  executor: Optional[ParallelExecutor] = None) -> None:
     parts = [
         f"{time.time() - started:.1f}s",
         f"probes {instrument.value(instrument.PROBES)}"
@@ -213,6 +380,11 @@ def _print_footer(started: float) -> None:
         f"kernel {instrument.value(instrument.EVENTS_SCHEDULED)} sched / "
         f"{instrument.value(instrument.EVENTS_FIRED)} fired",
     ]
+    if isinstance(executor, SupervisedExecutor):
+        parts.append(executor.summary())
+        beats = instrument.value(instrument.RUNFARM_HEARTBEATS)
+        if beats:
+            parts.append(f"hb {beats}")
     rec = trace.recorder()
     if rec is not None:
         parts.append(trace.summary_line(rec))
@@ -220,10 +392,14 @@ def _print_footer(started: float) -> None:
 
 
 def _write_json_artifact(path: str, spec, ctx: ExperimentContext,
-                         result) -> None:
+                         result, *, partial: bool = False,
+                         quarantined=()) -> None:
     from .analysis.export import build_artifact, write_artifact
 
-    payload = spec.to_json(result) if spec.to_json is not None else result
+    if partial:
+        payload = None
+    else:
+        payload = spec.to_json(result) if spec.to_json is not None else result
     artifact = build_artifact(
         experiment=spec.name,
         title=spec.title,
@@ -231,6 +407,8 @@ def _write_json_artifact(path: str, spec, ctx: ExperimentContext,
         seed=ctx.seed,
         fidelity=ctx.fidelity(spec).__dict__,
         result=payload,
+        partial=partial,
+        quarantined=quarantined,
     )
     with open(path, "w") as handle:
         write_artifact(handle, artifact)
@@ -265,7 +443,24 @@ def _dispatch(args, streams, executor) -> int:
 
     name = _experiment_name(args)
     spec = registry.get(name)
-    result = ctx.run(name)
+    try:
+        result = ctx.run(name)
+    except QuarantinedUnitError as exc:
+        # Abort-degradation spec: no partial rendering, but the JSON
+        # artifact (if requested) still records what was quarantined so
+        # CI can distinguish "degraded" from "crashed".
+        if args.json:
+            _write_json_artifact(args.json, spec, ctx, None, partial=True,
+                                 quarantined=exc.quarantined_units())
+        raise
+    if isinstance(result, PartialResult):
+        # Partial-degradation spec: the run completed around its poison
+        # pills; render the degradation notice instead of the table.
+        print(result.notice())
+        if args.json:
+            _write_json_artifact(args.json, spec, ctx, None, partial=True,
+                                 quarantined=result.quarantined)
+        return EXIT_PARTIAL
     print(spec.render(result))
     if args.csv:
         with open(args.csv, "w", newline="") as handle:

@@ -20,6 +20,7 @@ invocations.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -28,12 +29,17 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from . import instrument, trace
 
+logger = logging.getLogger("repro.cache")
+
 # Bump whenever measurement semantics change (models, stream naming,
 # ladder shape, metrics definitions): old cached results become garbage.
 # 2026.08.1: outcome metrics carry latency-attribution extras (PR 3).
 # 2026.08.2: vectorized queueing kernels (closed-form Lindley, block
 #   drop fixed point, searchsorted batching) change float rounding.
-CODE_VERSION = "2026.08.2"
+# 2026.08.3: cache entries double as the run-farm's manifest-referenced
+#   artifact store (sha256 digests recorded per entry; corrupt disk
+#   entries quarantined to *.corrupt instead of silently ignored).
+CODE_VERSION = "2026.08.3"
 
 _PRIMITIVES = (str, int, float, bool, bytes, type(None))
 
@@ -62,6 +68,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -69,15 +76,25 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "disk_hits": self.disk_hits}
+                "disk_hits": self.disk_hits, "corrupt": self.corrupt}
 
 
 @dataclass
 class ResultCache:
-    """Two-layer (memory + optional disk) content-addressed store."""
+    """Two-layer (memory + optional disk) content-addressed store.
+
+    Doubles as the run farm's **artifact store**: every entry that can
+    be pickled gets a sha256 digest of its serialized bytes, which
+    :class:`~repro.runfarm.manifest.RunManifest` records next to the
+    unit's status so a resumed run can verify what it is trusting.
+    Corrupt or truncated disk entries are never silently swallowed —
+    they are quarantined by renaming to ``<key>.pkl.corrupt``, counted
+    (``cache.corrupt``), and treated as a miss so the unit recomputes.
+    """
 
     cache_dir: Optional[str] = None
     _memory: Dict[str, Any] = field(default_factory=dict)
+    _digests: Dict[str, str] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -99,12 +116,14 @@ class ResultCache:
             if os.path.exists(path):
                 try:
                     with open(path, "rb") as handle:
-                        value = pickle.load(handle)
+                        data = handle.read()
+                    value = pickle.loads(data)
                 except (OSError, pickle.PickleError, EOFError, ValueError,
                         AttributeError, ImportError, IndexError):
-                    pass  # corrupt/partial/stale entry: treat as a miss
+                    self._quarantine(key, path)
                 else:
                     self._memory[key] = value
+                    self._digests[key] = hashlib.sha256(data).hexdigest()
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
                     instrument.increment(instrument.CACHE_HITS)
@@ -118,10 +137,42 @@ class ResultCache:
             trace.instant("cache.get", trace.CACHE, key=key[:12], hit=False)
         return False, None
 
-    def put(self, key: str, value: Any) -> None:
+    def _quarantine(self, key: str, path: str) -> None:
+        """Move a corrupt/truncated disk entry out of the lookup path.
+
+        The ``.corrupt`` sibling keeps the bytes around for post-mortem
+        while guaranteeing the next lookup recomputes instead of
+        re-tripping on the same bad pickle.
+        """
+        self.stats.corrupt += 1
+        instrument.increment(instrument.CACHE_CORRUPT)
+        logger.warning("quarantining corrupt cache entry %s -> %s.corrupt",
+                       os.path.basename(path), os.path.basename(path))
+        if trace.TRACING:
+            trace.instant("cache.corrupt", trace.CACHE, key=key[:12])
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            # Renaming failed (e.g. racing reader already moved it);
+            # removal keeps the entry from being re-read either way.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def put(self, key: str, value: Any) -> Optional[str]:
+        """Store ``value``; returns the artifact digest (None if the
+        value cannot be pickled — it then lives in memory only)."""
         if trace.TRACING:
             trace.instant("cache.put", trace.CACHE, key=key[:12])
         self._memory[key] = value
+        try:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, AttributeError, TypeError):
+            self._digests.pop(key, None)
+            return None
+        digest = hashlib.sha256(data).hexdigest()
+        self._digests[key] = digest
         if self.cache_dir:
             path = self._path(key)
             # Atomic publish: parallel workers may race on the same key,
@@ -129,15 +180,16 @@ class ResultCache:
             fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(data)
                 os.replace(tmp, path)
-            except (OSError, pickle.PickleError, AttributeError, TypeError):
-                # Unpicklable or disk trouble: the memory layer still has
-                # the value; just don't leave a partial file behind.
+            except OSError:
+                # Disk trouble: the memory layer still has the value;
+                # just don't leave a partial file behind.
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
+        return digest
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         found, value = self.get(key)
@@ -149,8 +201,13 @@ class ResultCache:
 
     # -- bookkeeping --------------------------------------------------------
 
+    def digest(self, key: str) -> Optional[str]:
+        """sha256 of the entry's serialized bytes (None if unknown)."""
+        return self._digests.get(key)
+
     def clear(self) -> None:
         self._memory.clear()
+        self._digests.clear()
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -25,13 +25,18 @@ parent, so CLI footers report identical totals at any ``--jobs``.
 
 from __future__ import annotations
 
+import hashlib
 import logging
+import multiprocessing
 import os
 import pickle
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -41,6 +46,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from . import instrument, trace
@@ -49,6 +55,37 @@ if TYPE_CHECKING:  # pragma: no cover
     from .cache import ResultCache
 
 logger = logging.getLogger("repro.executor")
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Typed record of one failed unit attempt — never an exception.
+
+    The supervised execution path (:meth:`ParallelExecutor.
+    map_supervised`) surfaces every way a unit can die as data in the
+    result slot: ``timeout`` (the per-unit wall-clock deadline expired
+    and the worker was SIGKILLed), ``worker-lost`` (the worker process
+    died before shipping a result — OOM kill, crash, chaos injection),
+    or ``error`` (the unit function raised).  Supervisors inspect the
+    record to decide requeue vs quarantine; nothing propagates as a
+    raised exception out of the execution layer.
+    """
+
+    unit: str
+    kind: str  # "timeout" | "worker-lost" | "error"
+    elapsed_s: float
+    attempt: int = 1
+    message: str = ""
+    error_type: str = ""
+
+    TIMEOUT = "timeout"
+    WORKER_LOST = "worker-lost"
+    ERROR = "error"
+
+    def describe(self) -> str:
+        detail = f": {self.error_type}: {self.message}" if self.message else ""
+        return (f"{self.unit} {self.kind} after {self.elapsed_s:.2f}s "
+                f"(attempt {self.attempt}){detail}")
 
 
 @dataclass(frozen=True)
@@ -103,6 +140,88 @@ def _invoke_chunk(
     IPC count, never the payload.
     """
     return [_invoke(unit, trace_spec) for unit in units]
+
+
+# -- supervised execution (run-farm substrate) -------------------------------
+
+# Chaos injection for CI and tests: when set to N, a supervised worker
+# whose unit-name hash is divisible by N SIGKILLs itself on its FIRST
+# attempt.  Results stay byte-identical — units are pure, so the
+# supervisor's requeue recomputes the same value — which is exactly what
+# the chaos-smoke CI job asserts.
+CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_NTH"
+
+# Parent-side poll tick for the supervised wait loop (seconds).
+_SUPERVISED_TICK_S = 0.05
+# Worker heartbeat period (seconds); the health monitor calls a worker
+# hung once beats go stale for several periods.
+HEARTBEAT_INTERVAL_S = 0.25
+
+
+def _chaos_maybe_kill(unit_name: str, attempt: int) -> None:
+    nth = os.environ.get(CHAOS_KILL_ENV)
+    if not nth or attempt != 1:
+        return
+    try:
+        n = int(nth)
+    except ValueError:
+        return
+    if n > 0:
+        digest = int(hashlib.sha256(unit_name.encode("utf-8")).hexdigest(), 16)
+        if digest % n == 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _supervised_worker(conn, unit: WorkUnit, attempt: int,
+                       trace_spec: Optional[Dict[str, Any]],
+                       heartbeat_dir: Optional[str],
+                       heartbeat_interval_s: float) -> None:
+    """Child-process entry point for one supervised unit.
+
+    Runs exactly one unit, ships ``("ok", (result, counter_delta,
+    trace_events))`` or ``("error", type_name, message)`` back over the
+    pipe, and beats a heartbeat file for the parent's health monitor
+    while the unit runs.  A SIGKILL (timeout enforcement, OOM, chaos)
+    simply truncates the pipe — the parent reads EOF as worker-lost.
+    """
+    stop_heartbeat: Optional[Callable[[], None]] = None
+    try:
+        if heartbeat_dir is not None:
+            from ..runfarm.health import start_heartbeat
+
+            stop_heartbeat = start_heartbeat(
+                heartbeat_dir, unit.name, interval_s=heartbeat_interval_s)
+        _chaos_maybe_kill(unit.name, attempt)
+        outcome = _invoke(unit, trace_spec)
+        conn.send(("ok", outcome))
+    except BaseException as exc:  # noqa: BLE001 — typed record, not a raise
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except Exception:  # noqa: BLE001 — result unpicklable / pipe gone
+            pass
+    finally:
+        if stop_heartbeat is not None:
+            stop_heartbeat()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _InProcessTimeout(Exception):
+    """SIGALRM-driven deadline hit on the in-process fallback path."""
+
+
+@dataclass
+class _Running:
+    """Parent-side state for one in-flight supervised worker."""
+
+    index: int
+    unit: WorkUnit
+    attempt: int
+    proc: Any
+    started: float
+    reported_slow: bool = False
 
 
 def _emit_unit_profile(unit: WorkUnit, events: int, delta: Dict[str, int]) -> None:
@@ -314,6 +433,317 @@ class ParallelExecutor:
                 results.append(result)
         return results
 
+    # -- supervised execution (per-unit processes, deadlines, kills) --------
+
+    def map_supervised(
+        self,
+        units: Sequence[WorkUnit],
+        unit_timeout_s: Optional[float] = None,
+        heartbeat_dir: Optional[str] = None,
+        attempts: Optional[Sequence[int]] = None,
+    ) -> List[Union[Any, "UnitFailure"]]:
+        """Run one attempt of each unit under fault containment.
+
+        Unlike :meth:`map` (shared pool, chunked batches), every unit
+        gets its **own worker process** so the supervisor can enforce a
+        per-unit wall-clock deadline with a surgical SIGKILL — one hung
+        probe dies alone instead of stalling or breaking a shared pool.
+        Up to ``jobs`` workers run concurrently; results come back in
+        submission order, and every way a unit can die is surfaced as a
+        :class:`UnitFailure` in its result slot, never an exception.
+
+        Counter deltas and trace events from *successful* units merge in
+        submission order (exactly like :meth:`map`), so a supervised run
+        of healthy units is byte-identical to a plain one.  Batches that
+        cannot be pickled fall back in-process, where the deadline is
+        enforced best-effort with ``SIGALRM`` (main thread only).
+        """
+        units = list(units)
+        self.units_run += len(units)
+        if attempts is None:
+            attempts = [1] * len(units)
+        if not units:
+            return []
+        if not self._picklable(units):
+            self.fallbacks += 1
+            logger.debug("supervised batch of %d units is not picklable; "
+                         "running in-process", len(units))
+            return self._map_supervised_inprocess(units, unit_timeout_s,
+                                                  attempts)
+        started_batch = time.perf_counter()
+        results = self._map_supervised_procs(units, unit_timeout_s,
+                                             heartbeat_dir, attempts)
+        self._observe(time.perf_counter() - started_batch, len(units),
+                      workers=self._effective_workers())
+        return results
+
+    def _map_supervised_procs(
+        self,
+        units: List[WorkUnit],
+        unit_timeout_s: Optional[float],
+        heartbeat_dir: Optional[str],
+        attempts: Sequence[int],
+    ) -> List[Union[Any, "UnitFailure"]]:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-fork platforms
+            ctx = multiprocessing.get_context()
+        recorder = trace.recorder()
+        trace_spec = None
+        if recorder is not None:
+            trace_spec = {"capacity": recorder.capacity,
+                          "metrics_interval_s": recorder.metrics_interval_s}
+        workers = self._effective_workers()
+        results: List[Union[Any, UnitFailure]] = [None] * len(units)
+        successes: Dict[int, Tuple[Any, Dict[str, int], Optional[list]]] = {}
+        running: Dict[Any, _Running] = {}
+        monitor = None
+        if heartbeat_dir is not None:
+            from ..runfarm.health import HealthMonitor
+
+            monitor = HealthMonitor(heartbeat_dir)
+        next_index = 0
+
+        def launch() -> None:
+            nonlocal next_index
+            while next_index < len(units) and len(running) < workers:
+                index = next_index
+                next_index += 1
+                recv_conn, send_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_supervised_worker,
+                    args=(send_conn, units[index], attempts[index],
+                          trace_spec, heartbeat_dir, HEARTBEAT_INTERVAL_S),
+                    daemon=True,
+                )
+                proc.start()
+                send_conn.close()
+                running[recv_conn] = _Running(index=index, unit=units[index],
+                                              attempt=attempts[index],
+                                              proc=proc,
+                                              started=time.perf_counter())
+
+        def reap(conn, state: _Running) -> None:
+            """Collect one finished worker's message (or its corpse)."""
+            payload = None
+            try:
+                payload = conn.recv()
+            except (EOFError, OSError):
+                payload = None
+            state.proc.join(timeout=5.0)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            elapsed = time.perf_counter() - state.started
+            if payload is None:
+                exitcode = state.proc.exitcode
+                failure = UnitFailure(
+                    unit=state.unit.name, kind=UnitFailure.WORKER_LOST,
+                    elapsed_s=elapsed, attempt=state.attempt,
+                    message=f"worker exited with code {exitcode}")
+                instrument.increment(instrument.RUNFARM_WORKER_LOST)
+                logger.warning("worker for unit %s died (exit %s); "
+                               "surfacing worker-lost", state.unit.name,
+                               exitcode)
+                if trace.TRACING:
+                    trace.instant("runfarm.worker_lost", trace.RUNFARM,
+                                  unit=state.unit.name, attempt=state.attempt)
+                results[state.index] = failure
+            elif payload[0] == "ok":
+                successes[state.index] = payload[1]
+            else:
+                _tag, error_type, message = payload
+                results[state.index] = UnitFailure(
+                    unit=state.unit.name, kind=UnitFailure.ERROR,
+                    elapsed_s=elapsed, attempt=state.attempt,
+                    message=message, error_type=error_type)
+
+        try:
+            while next_index < len(units) or running:
+                launch()
+                ready = mp_connection.wait(list(running),
+                                           timeout=_SUPERVISED_TICK_S)
+                for conn in ready:
+                    reap(conn, running.pop(conn))
+                if unit_timeout_s is not None:
+                    now = time.perf_counter()
+                    for conn, state in list(running.items()):
+                        if now - state.started <= unit_timeout_s:
+                            continue
+                        # Deadline expired: SIGKILL just this worker and
+                        # surface a typed timeout; the supervisor decides
+                        # whether to requeue.
+                        del running[conn]
+                        state.proc.kill()
+                        state.proc.join(timeout=5.0)
+                        try:
+                            conn.close()
+                        except OSError:
+                            pass
+                        elapsed = now - state.started
+                        instrument.increment(instrument.RUNFARM_TIMEOUTS)
+                        logger.warning(
+                            "unit %s exceeded %.2fs deadline after %.2fs; "
+                            "SIGKILLed worker %s", state.unit.name,
+                            unit_timeout_s, elapsed, state.proc.pid)
+                        if trace.TRACING:
+                            trace.instant("runfarm.timeout", trace.RUNFARM,
+                                          unit=state.unit.name,
+                                          attempt=state.attempt)
+                        results[state.index] = UnitFailure(
+                            unit=state.unit.name, kind=UnitFailure.TIMEOUT,
+                            elapsed_s=elapsed, attempt=state.attempt,
+                            message=f"exceeded {unit_timeout_s:.2f}s deadline")
+                if monitor is not None:
+                    self._check_health(monitor, running, unit_timeout_s)
+        finally:
+            # An unexpected parent-side error must not leak children.
+            for conn, state in running.items():
+                state.proc.kill()
+                state.proc.join(timeout=5.0)
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        # Merge successful units' counters/traces in submission order so
+        # supervised output matches the serial reference byte for byte.
+        for index in sorted(successes):
+            result, delta, events = successes[index]
+            instrument.merge(delta)
+            if events is not None and recorder is not None:
+                recorder.extend(events)
+                _emit_unit_profile(units[index], len(events), delta)
+            results[index] = result
+        return results
+
+    def _check_health(self, monitor, running: Dict[Any, _Running],
+                      unit_timeout_s: Optional[float]) -> None:
+        """Fold a heartbeat scan into counters; log hung/slow workers.
+
+        ``hung`` means the worker's heartbeat went stale (the process is
+        dead, stopped, or wedged hard enough that its beat thread cannot
+        run) — distinct from ``slow``, a live worker whose unit is just
+        taking much longer than the batch EWMA predicts.
+        """
+        beats = monitor.scan()
+        for state in running.values():
+            status = beats.get(state.unit.name)
+            elapsed = time.perf_counter() - state.started
+            expected = self._seconds_per_unit
+            if status is not None and status.stale and elapsed > 1.0:
+                if not state.reported_slow:
+                    state.reported_slow = True
+                    instrument.increment(instrument.RUNFARM_WORKERS_HUNG)
+                    logger.warning(
+                        "worker %s (unit %s) looks hung: heartbeat stale "
+                        "for %.1fs", state.proc.pid, state.unit.name,
+                        status.age_s)
+            elif (expected is not None and elapsed > max(4 * expected, 1.0)
+                    and not state.reported_slow):
+                state.reported_slow = True
+                instrument.increment(instrument.RUNFARM_WORKERS_SLOW)
+                logger.info(
+                    "worker %s (unit %s) is slow: %.1fs vs ~%.2fs expected "
+                    "(heartbeat healthy)", state.proc.pid, state.unit.name,
+                    elapsed, expected)
+
+    def _map_supervised_inprocess(
+        self,
+        units: List[WorkUnit],
+        unit_timeout_s: Optional[float],
+        attempts: Sequence[int],
+    ) -> List[Union[Any, "UnitFailure"]]:
+        """Fallback for unpicklable batches: same typed-failure contract.
+
+        The deadline is enforced with ``SIGALRM`` where possible (main
+        thread, POSIX); a numpy-bound unit may overshoot, but a pure-
+        Python hang is still contained.  Workers cannot be killed here,
+        so ``worker-lost`` never occurs on this path.
+        """
+        use_alarm = (
+            unit_timeout_s is not None
+            and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+        results: List[Union[Any, UnitFailure]] = []
+        for unit, attempt in zip(units, attempts):
+            started = time.perf_counter()
+            previous = None
+            if use_alarm:
+                def _on_alarm(_signum, _frame):
+                    raise _InProcessTimeout()
+                previous = signal.signal(signal.SIGALRM, _on_alarm)
+                signal.setitimer(signal.ITIMER_REAL, unit_timeout_s)
+            try:
+                if trace.TRACING:
+                    recorder = trace.recorder()
+                    before_appended = recorder.appended
+                    before = instrument.snapshot()
+                    with trace.track(unit.name):
+                        result = unit.run()
+                    _emit_unit_profile(unit,
+                                       recorder.appended - before_appended,
+                                       instrument.delta_since(before))
+                else:
+                    result = unit.run()
+                results.append(result)
+            except _InProcessTimeout:
+                instrument.increment(instrument.RUNFARM_TIMEOUTS)
+                results.append(UnitFailure(
+                    unit=unit.name, kind=UnitFailure.TIMEOUT,
+                    elapsed_s=time.perf_counter() - started, attempt=attempt,
+                    message=f"exceeded {unit_timeout_s:.2f}s deadline "
+                            "(in-process)"))
+            except Exception as exc:  # noqa: BLE001 — typed record
+                results.append(UnitFailure(
+                    unit=unit.name, kind=UnitFailure.ERROR,
+                    elapsed_s=time.perf_counter() - started, attempt=attempt,
+                    message=str(exc), error_type=type(exc).__name__))
+            finally:
+                if use_alarm:
+                    signal.setitimer(signal.ITIMER_REAL, 0.0)
+                    signal.signal(signal.SIGALRM, previous)
+        return results
+
+    # -- keyed (cache-aware) execution --------------------------------------
+
+    def map_keyed(
+        self,
+        units: Sequence[WorkUnit],
+        keys: Sequence[str],
+        store: Optional["ResultCache"] = None,
+    ) -> List[Any]:
+        """Run a batch through the content-addressed cache.
+
+        Each unit is paired with its cache key: hits are served from the
+        cache in the parent (one lookup each, never submitted), misses
+        are executed and the computed results are stored back — so a
+        later batch (or CLI verb sharing a ``--cache-dir``) reuses them.
+        Results come back in unit order either way.  The run farm's
+        :class:`~repro.runfarm.supervisor.SupervisedExecutor` overrides
+        this seam to add manifests, retries, and quarantine.
+        """
+        if len(units) != len(keys):
+            raise ValueError("units and keys must have equal length")
+        if store is None:
+            from .cache import get_cache
+
+            store = get_cache()
+        results: List[Any] = [None] * len(units)
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            found, value = store.get(key)
+            if found:
+                results[index] = value
+            else:
+                pending.append(index)
+        for index, value in zip(pending,
+                                self.map([units[i] for i in pending])):
+            store.put(keys[index], value)
+            results[index] = value
+        return results
+
     @staticmethod
     def _picklable(units: Sequence[WorkUnit]) -> bool:
         try:
@@ -321,6 +751,25 @@ class ParallelExecutor:
         except Exception:  # noqa: BLE001 — any pickling failure means serial
             return False
         return True
+
+
+def unit_content_key(unit: WorkUnit) -> Optional[str]:
+    """A content-addressed key derived from the unit's own pickle bytes.
+
+    Units submitted through :meth:`ParallelExecutor.map` carry no
+    explicit cache key; for manifest bookkeeping (and resume) the run
+    farm derives one from the pickled ``(fn, args, kwargs)`` closure —
+    pure units with identical content hash identically across runs of
+    the same code.  Returns ``None`` for unpicklable units, which are
+    then executed unconditionally.
+    """
+    from .cache import cache_key
+
+    try:
+        payload = pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:  # noqa: BLE001 — closures etc.
+        return None
+    return cache_key("unit-pickle", hashlib.sha256(payload).hexdigest())
 
 
 def map_cached(
@@ -331,27 +780,10 @@ def map_cached(
 ) -> List[Any]:
     """Run a batch through the content-addressed cache.
 
-    Each unit is paired with its cache key: hits are served from the
-    cache in the parent (one lookup each, never submitted), misses are
-    fanned out through ``executor`` and the computed results are stored
-    back — so a later batch (or CLI verb sharing a ``--cache-dir``)
-    reuses them.  Results come back in unit order either way.
+    Thin wrapper over :meth:`ParallelExecutor.map_keyed` — the seam the
+    run farm's :class:`~repro.runfarm.supervisor.SupervisedExecutor`
+    overrides, so every experiment that funnels units through here gains
+    manifests, per-unit timeouts, retries, and quarantine for free when
+    the CLI installs a supervised executor.
     """
-    if len(units) != len(keys):
-        raise ValueError("units and keys must have equal length")
-    if store is None:
-        from .cache import get_cache
-
-        store = get_cache()
-    results: List[Any] = [None] * len(units)
-    pending: List[int] = []
-    for index, key in enumerate(keys):
-        found, value = store.get(key)
-        if found:
-            results[index] = value
-        else:
-            pending.append(index)
-    for index, value in zip(pending, executor.map([units[i] for i in pending])):
-        store.put(keys[index], value)
-        results[index] = value
-    return results
+    return executor.map_keyed(units, keys, store)

@@ -21,6 +21,23 @@ PROBES = "probes"
 PROBES_SAVED = "probe.saved"
 CACHE_HITS = "cache_hits"
 CACHE_MISSES = "cache_misses"
+# Disk-cache entries that failed to unpickle and were quarantined to a
+# ``*.corrupt`` sibling (never silently swallowed) — see core.cache.
+CACHE_CORRUPT = "cache.corrupt"
+# Run-farm supervision counters (runfarm/): unit attempts that hit the
+# wall-clock deadline and were SIGKILLed, workers that died mid-unit,
+# harness-level retries, units quarantined as poison pills after
+# exhausting attempts, units served from a prior run's manifest +
+# artifact store on --resume, and worker heartbeats observed by the
+# parent-side health monitor.
+RUNFARM_TIMEOUTS = "runfarm.timeout"
+RUNFARM_WORKER_LOST = "runfarm.worker_lost"
+RUNFARM_RETRIES = "runfarm.retries"
+RUNFARM_QUARANTINED = "runfarm.quarantined"
+RUNFARM_RESUMED = "runfarm.resumed"
+RUNFARM_HEARTBEATS = "runfarm.heartbeats"
+RUNFARM_WORKERS_HUNG = "runfarm.workers_hung"
+RUNFARM_WORKERS_SLOW = "runfarm.workers_slow"
 # Kernel flight-recorder counters (PR 3): folded by Simulator.run() and
 # the trace ring buffer; merged across workers like every other counter.
 EVENTS_SCHEDULED = "sim.events_scheduled"

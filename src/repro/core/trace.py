@@ -38,6 +38,7 @@ Categories
 ``fault``       fault episode spans
 ``probe``       rate probes, sweeps, per-work-unit profiles
 ``cache``       result-cache lookups and stores
+``runfarm``     unit attempts, timeouts, requeues, quarantines, heartbeats
 
 Exporters
 ---------
@@ -66,8 +67,10 @@ NETSTACK = "netstack"
 FAULT = "fault"
 PROBE = "probe"
 CACHE = "cache"
+RUNFARM = "runfarm"
 
-CATEGORIES = (SIM, QUEUE, ACCEL_BATCH, NETSTACK, FAULT, PROBE, CACHE)
+CATEGORIES = (SIM, QUEUE, ACCEL_BATCH, NETSTACK, FAULT, PROBE, CACHE,
+              RUNFARM)
 
 DEFAULT_CAPACITY = 1 << 16
 DEFAULT_METRICS_INTERVAL_S = 1e-3

@@ -60,7 +60,13 @@ from .measurement import (
     operating_point_json,
 )
 from .profiles import get_profile
-from .registry import Experiment, ExperimentContext, register, smoke_tier
+from .registry import (
+    DEGRADE_PARTIAL,
+    Experiment,
+    ExperimentContext,
+    register,
+    smoke_tier,
+)
 
 logger = logging.getLogger("repro.faults")
 
@@ -570,4 +576,9 @@ register(Experiment(
         },
     },
     tiers=smoke_tier(),
+    # An extension study: losing one scenario replay should not take the
+    # whole report down — degrade to a partial-results verdict and let
+    # --resume retry the quarantined units.
+    unit_granularity="one (function, fault-scenario) replay",
+    degradation=DEGRADE_PARTIAL,
 ))

@@ -250,4 +250,7 @@ register(Experiment(
     to_json=lambda rows: [fig4_row_json(row) for row in rows],
     schema={"type": "array", "minItems": 1, "items": FIG4_ROW_SCHEMA},
     tiers=smoke_tier(keys=FIG4_SMOKE_KEYS),
+    # Load-bearing: fig6, table5, the observations, and the report all
+    # consume these rows — a quarantined probe must abort, not degrade.
+    unit_granularity="one (function, platform) capacity probe",
 ))

@@ -266,4 +266,5 @@ register(Experiment(
         },
     },
     tiers=smoke_tier(rates_gbps=SMOKE_RATES_GBPS),
+    unit_granularity="one (rule set, series, offered rate) sweep point",
 ))

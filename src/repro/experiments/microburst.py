@@ -29,7 +29,13 @@ from .measurement import (
     cpu_service_seconds,
 )
 from .profiles import FunctionProfile, get_profile
-from .registry import Experiment, ExperimentContext, register, smoke_tier
+from .registry import (
+    DEGRADE_PARTIAL,
+    Experiment,
+    ExperimentContext,
+    register,
+    smoke_tier,
+)
 
 
 @dataclass
@@ -261,4 +267,6 @@ register(Experiment(
         },
     },
     tiers=smoke_tier(),
+    unit_granularity="one (platform, peak-to-mean) burst run",
+    degradation=DEGRADE_PARTIAL,
 ))

@@ -90,7 +90,7 @@ def format_mode_study(results: Dict[str, ModeResult]) -> str:
 
 
 def _register() -> None:
-    from .registry import Experiment, register, smoke_tier
+    from .registry import DEGRADE_PARTIAL, Experiment, register, smoke_tier
 
     register(Experiment(
         name="modes",
@@ -124,6 +124,8 @@ def _register() -> None:
             },
         },
         tiers=smoke_tier(),
+        unit_granularity="one packet-level mode study",
+        degradation=DEGRADE_PARTIAL,
     ))
 
 

@@ -71,6 +71,14 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_TIER = "default"
 SMOKE_TIER = "smoke"
 
+# Degradation policies: what happens when the run farm quarantines some
+# of an experiment's work units as poison pills.  ``abort`` experiments
+# are load-bearing (their numbers feed other artifacts and the paper
+# anchors) and must fail loudly; ``partial`` experiments complete the
+# invocation with a partial-results verdict instead.
+DEGRADE_ABORT = "abort"
+DEGRADE_PARTIAL = "partial"
+
 # The invocation-wide fidelity the CLI has always defaulted to; contexts
 # built without explicit values (library use, tests) get the same numbers
 # so `ctx.run("fig4")` reproduces `python -m repro fig4` exactly.
@@ -145,6 +153,13 @@ class Experiment:
     ``verdict`` maps a result to a process exit code (the observations
     gate) — applied only at default fidelity, since smoke runs validate
     plumbing, not science.
+
+    Run-farm fields: ``unit_granularity`` documents what one schedulable
+    work unit of this experiment is (manifest rows and timeouts apply at
+    that granularity), and ``degradation`` declares the policy when the
+    supervisor quarantines units — :data:`DEGRADE_ABORT` propagates the
+    failure (load-bearing artifacts), :data:`DEGRADE_PARTIAL` lets the
+    invocation complete with a :class:`PartialResult` verdict.
     """
 
     name: str
@@ -159,6 +174,8 @@ class Experiment:
     depends: Tuple[str, ...] = ()
     verdict: Optional[Callable[[Any], int]] = None
     description: str = ""
+    unit_granularity: str = ""
+    degradation: str = DEGRADE_ABORT
 
     def __post_init__(self) -> None:
         missing = {DEFAULT_TIER, SMOKE_TIER} - set(self.tiers)
@@ -166,6 +183,12 @@ class Experiment:
             raise ValueError(
                 f"experiment {self.name!r} must declare tiers "
                 f"{sorted(missing)} (has {sorted(self.tiers)})"
+            )
+        if self.degradation not in (DEGRADE_ABORT, DEGRADE_PARTIAL):
+            raise ValueError(
+                f"experiment {self.name!r} has unknown degradation "
+                f"policy {self.degradation!r} "
+                f"(expected {DEGRADE_ABORT!r} or {DEGRADE_PARTIAL!r})"
             )
 
     @property
@@ -187,6 +210,36 @@ class Experiment:
         if self.chart is not None:
             text = f"{text}\n\n{self.chart(result)}"
         return text
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """Sentinel result for an experiment degraded by quarantined units.
+
+    When the run-farm supervisor benches poison-pill units and the
+    spec's policy is :data:`DEGRADE_PARTIAL`, ``ctx.run`` resolves to
+    this instead of raising — the invocation (a CLI verb, the report
+    walk) completes, renders :meth:`notice` where the artifact would
+    have gone, and the JSON artifact is flagged ``partial``.
+    """
+
+    experiment: str
+    quarantined: Tuple[str, ...]
+    total_units: int
+    message: str
+
+    def notice(self) -> str:
+        units = ", ".join(self.quarantined[:8])
+        more = ("" if len(self.quarantined) <= 8
+                else f" (+{len(self.quarantined) - 8} more)")
+        return (
+            f"PARTIAL RESULTS: experiment '{self.experiment}' could not "
+            f"complete {len(self.quarantined)}/{self.total_units} work "
+            f"units;\nquarantined after exhausting retry attempts: "
+            f"{units}{more}.\nCompleted units are preserved in the run "
+            f"directory's artifact store — fix the cause and re-run with "
+            f"--resume to fill the gaps."
+        )
 
 
 class ExperimentContext:
@@ -243,7 +296,13 @@ class ExperimentContext:
                                             smoke=self.smoke)
 
     def run(self, name: str) -> Any:
-        """The (memoized) result of the registered experiment ``name``."""
+        """The (memoized) result of the registered experiment ``name``.
+
+        If the run-farm supervisor quarantined units under this runner
+        and the spec's degradation policy is :data:`DEGRADE_PARTIAL`,
+        the memoized result is a :class:`PartialResult` instead of a
+        raised error; :data:`DEGRADE_ABORT` specs propagate.
+        """
         if name in self._results:
             return self._results[name]
         spec = get(name)
@@ -254,6 +313,19 @@ class ExperimentContext:
         self._current.append(spec)
         try:
             result = spec.runner(self)
+        except Exception as exc:
+            from ..runfarm.supervisor import QuarantinedUnitError
+
+            if (isinstance(exc, QuarantinedUnitError)
+                    and spec.degradation == DEGRADE_PARTIAL):
+                result = PartialResult(
+                    experiment=name,
+                    quarantined=tuple(exc.quarantined_units()),
+                    total_units=exc.total,
+                    message=str(exc),
+                )
+            else:
+                raise
         finally:
             self._running.pop()
             self._current.pop()

@@ -23,7 +23,13 @@ from .measurement import (
     operating_point_cache_key,
 )
 from .profiles import get_profile
-from .registry import Experiment, ExperimentContext, register, smoke_tier
+from .registry import (
+    DEGRADE_PARTIAL,
+    Experiment,
+    ExperimentContext,
+    register,
+    smoke_tier,
+)
 
 
 @dataclass(frozen=True)
@@ -225,4 +231,6 @@ register(Experiment(
         },
     },
     tiers=smoke_tier(),
+    unit_granularity="one (key, hypothetical-design) probe",
+    degradation=DEGRADE_PARTIAL,
 ))

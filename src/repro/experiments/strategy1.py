@@ -22,7 +22,13 @@ from .measurement import (
     operating_point_cache_key,
 )
 from .profiles import get_profile
-from .registry import Experiment, ExperimentContext, register, smoke_tier
+from .registry import (
+    DEGRADE_PARTIAL,
+    Experiment,
+    ExperimentContext,
+    register,
+    smoke_tier,
+)
 
 DEFAULT_KEYS = ("udp:64", "redis:a", "nat:10k", "bm25:1k", "snort:file_executable")
 
@@ -225,4 +231,6 @@ register(Experiment(
         },
     },
     tiers=smoke_tier(),
+    unit_granularity="one (key, offload-scenario) re-measurement",
+    degradation=DEGRADE_PARTIAL,
 ))

@@ -212,4 +212,5 @@ register(Experiment(
         },
     },
     tiers=smoke_tier(),
+    unit_granularity="one platform's full trace replay",
 ))

@@ -15,7 +15,7 @@ synchronized clients do not retry in lockstep.  Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator
+from typing import Callable, Generator, Optional
 
 import numpy as np
 
@@ -24,12 +24,20 @@ from ..core.engine import Event, Simulator
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Timeout/backoff parameters for one request path."""
+    """Timeout/backoff parameters for one request path.
+
+    ``max_elapsed_s`` optionally bounds the *total* time a request may
+    spend retrying: once the elapsed time (base service plus accumulated
+    backoff) reaches the deadline, no further attempt is scheduled even
+    if ``max_attempts`` has budget left.  Unbounded (``None``) keeps the
+    attempt-count-only behavior.
+    """
 
     timeout_s: float = 100e-6  # first-attempt timeout
     max_attempts: int = 5
     backoff_factor: float = 2.0
     jitter_fraction: float = 0.2  # +- fraction applied to each backoff
+    max_elapsed_s: Optional[float] = None  # total retry deadline
 
     def __post_init__(self):
         if self.timeout_s <= 0:
@@ -40,6 +48,14 @@ class RetryPolicy:
             raise ValueError("backoff_factor must be >= 1")
         if not 0.0 <= self.jitter_fraction < 1.0:
             raise ValueError("jitter_fraction must be in [0, 1)")
+        if self.max_elapsed_s is not None:
+            if self.max_elapsed_s <= 0:
+                raise ValueError("max_elapsed_s must be positive")
+            if self.max_elapsed_s < self.timeout_s:
+                raise ValueError(
+                    "max_elapsed_s must be >= timeout_s (the deadline "
+                    "cannot be shorter than one attempt's timeout)"
+                )
 
     def backoff_s(self, attempt: int, rng: np.random.Generator) -> float:
         """Delay before retry number ``attempt`` (0-based failed attempt)."""
@@ -49,6 +65,10 @@ class RetryPolicy:
                 rng.uniform(-self.jitter_fraction, self.jitter_fraction)
             )
         return base
+
+    def within_deadline(self, elapsed_s: float) -> bool:
+        """Whether another retry may be scheduled after ``elapsed_s``."""
+        return self.max_elapsed_s is None or elapsed_s < self.max_elapsed_s
 
 
 @dataclass
@@ -79,8 +99,17 @@ def retrying_process(
             return RetryOutcome(
                 delivered=True, attempts=i + 1, extra_delay_s=sim.now - started
             )
-        if i + 1 < policy.max_attempts:
-            yield sim.timeout(policy.backoff_s(i, rng))
+        if i + 1 >= policy.max_attempts:
+            break
+        backoff = policy.backoff_s(i, rng)
+        if not policy.within_deadline(sim.now - started + backoff):
+            # Total-elapsed deadline: the next attempt could not start
+            # before the budget runs out, so give up now.
+            return RetryOutcome(
+                delivered=False, attempts=i + 1,
+                extra_delay_s=sim.now - started,
+            )
+        yield sim.timeout(backoff)
     return RetryOutcome(
         delivered=False,
         attempts=policy.max_attempts,
@@ -102,8 +131,13 @@ def simulate_retries(
     for i in range(policy.max_attempts):
         if not lost(i):
             return RetryOutcome(delivered=True, attempts=i + 1, extra_delay_s=delay)
-        if i + 1 < policy.max_attempts:
-            delay += policy.backoff_s(i, rng)
+        if i + 1 >= policy.max_attempts:
+            break
+        backoff = policy.backoff_s(i, rng)
+        if not policy.within_deadline(delay + backoff):
+            return RetryOutcome(delivered=False, attempts=i + 1,
+                                extra_delay_s=delay)
+        delay += backoff
     return RetryOutcome(
         delivered=False, attempts=policy.max_attempts, extra_delay_s=delay
     )

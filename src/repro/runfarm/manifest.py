@@ -1,0 +1,246 @@
+"""Resumable run manifests: one JSONL file of record per work unit.
+
+A :class:`RunManifest` is the run farm's durable source of truth.  Every
+generation of a run (the first invocation and each ``--resume``) appends
+a ``run`` header record, and every work-unit state transition appends a
+``unit`` record::
+
+    {"type": "run", "manifest_version": 1, "generation": 1, "verb": ...}
+    {"type": "unit", "key": "...", "unit": "fig4:udp:64:host",
+     "status": "running", "attempt": 1, ...}
+    {"type": "unit", "key": "...", "status": "done", "attempt": 1,
+     "artifact": "sha256-hex", "elapsed_s": 0.41, ...}
+
+Appends are **atomic**: each record is serialized to one ``\\n``-
+terminated line and written with a single ``os.write`` on an
+``O_APPEND`` descriptor, so concurrent writers interleave whole lines
+and a SIGKILLed driver leaves at most one truncated final line — which
+the loader tolerates (counted, skipped).  Replaying the file with
+last-record-wins per key reconstructs the run's exact state: units whose
+final record is ``done``/``cached`` are complete (their artifact lives
+in the content-addressed store), everything else — including units
+caught mid-flight as ``running`` when the driver died — is incomplete
+and re-executes on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.jsonl"
+
+# Unit statuses, in lifecycle order.
+RUNNING = "running"
+DONE = "done"          # executed this generation; artifact stored
+CACHED = "cached"      # served from the artifact store (hit or resume)
+FAILED = "failed"      # attempt raised; may retry
+TIMEOUT = "timeout"    # attempt SIGKILLed at the wall-clock deadline
+WORKER_LOST = "worker-lost"  # worker died (OOM/crash/kill) mid-unit
+QUARANTINED = "quarantined"  # poison pill: exhausted attempts, benched
+
+COMPLETE_STATUSES = frozenset({DONE, CACHED})
+FAILURE_STATUSES = frozenset({FAILED, TIMEOUT, WORKER_LOST})
+
+
+@dataclass
+class UnitRecord:
+    """Last known state of one work unit (one manifest key)."""
+
+    key: str
+    unit: str
+    status: str
+    attempt: int = 0
+    elapsed_s: Optional[float] = None
+    artifact: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.status in COMPLETE_STATUSES
+
+
+@dataclass
+class ManifestState:
+    """A manifest file replayed into current per-unit state."""
+
+    path: str
+    header: Dict[str, Any] = field(default_factory=dict)
+    generations: int = 0
+    units: Dict[str, UnitRecord] = field(default_factory=dict)
+    skipped_lines: int = 0
+
+    @property
+    def run_dir(self) -> str:
+        return os.path.dirname(os.path.abspath(self.path))
+
+    def done_keys(self) -> frozenset:
+        return frozenset(key for key, record in self.units.items()
+                         if record.complete)
+
+    def incomplete(self) -> List[UnitRecord]:
+        return [record for record in self.units.values()
+                if not record.complete]
+
+    def quarantined(self) -> List[UnitRecord]:
+        return [record for record in self.units.values()
+                if record.status == QUARANTINED]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.units.values():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        total = len(self.units)
+        done = len(self.done_keys())
+        extra = ""
+        quarantined = len(self.quarantined())
+        if quarantined:
+            extra = f", {quarantined} quarantined"
+        return (f"{done}/{total} units complete{extra} "
+                f"(generation {self.generations})")
+
+
+class RunManifest:
+    """Append-only JSONL journal of one run's work units."""
+
+    def __init__(self, path: str):
+        # Anything that isn't explicitly a .jsonl file is a run
+        # directory (possibly not yet created).
+        if os.path.isdir(path) or not path.endswith(".jsonl"):
+            path = os.path.join(path, MANIFEST_NAME)
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+
+    # -- writing ------------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        # One O_APPEND write per record: concurrent appenders interleave
+        # whole lines, and a killed process leaves at most one partial
+        # final line (tolerated by the loader).
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                     0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def begin_generation(self, *, verb: str, seed: int, samples: int,
+                         requests: int, tier: str, jobs: int,
+                         code_version: str,
+                         argv: Optional[List[str]] = None,
+                         generation: Optional[int] = None) -> int:
+        """Append a ``run`` header; returns the generation number."""
+        if generation is None:
+            state = self.load(self.path) if os.path.exists(self.path) else None
+            generation = (state.generations if state else 0) + 1
+        self._append({
+            "type": "run",
+            "manifest_version": MANIFEST_VERSION,
+            "generation": generation,
+            "verb": verb,
+            "seed": seed,
+            "samples": samples,
+            "requests": requests,
+            "tier": tier,
+            "jobs": jobs,
+            "code_version": code_version,
+            "argv": list(argv) if argv else [],
+            "started_unix": time.time(),
+        })
+        return generation
+
+    def record_unit(self, key: str, unit: str, status: str, *,
+                    attempt: int = 0, elapsed_s: Optional[float] = None,
+                    artifact: Optional[str] = None,
+                    error: Optional[str] = None) -> None:
+        record: Dict[str, Any] = {
+            "type": "unit",
+            "key": key,
+            "unit": unit,
+            "status": status,
+            "attempt": attempt,
+            "ts_unix": time.time(),
+        }
+        if elapsed_s is not None:
+            record["elapsed_s"] = round(elapsed_s, 6)
+        if artifact is not None:
+            record["artifact"] = artifact
+        if error is not None:
+            record["error"] = error[:500]
+        self._append(record)
+
+    # -- reading ------------------------------------------------------------
+
+    @staticmethod
+    def load(path: str) -> ManifestState:
+        """Replay a manifest file into last-record-wins unit state.
+
+        ``path`` may be the manifest file or its run directory.  Corrupt
+        or truncated lines (a SIGKILLed writer's final append) are
+        counted and skipped, never fatal.
+        """
+        if os.path.isdir(path):
+            path = os.path.join(path, MANIFEST_NAME)
+        state = ManifestState(path=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    state.skipped_lines += 1
+                    continue
+                if not isinstance(record, dict):
+                    state.skipped_lines += 1
+                    continue
+                kind = record.get("type")
+                if kind == "run":
+                    state.generations = max(state.generations,
+                                            int(record.get("generation", 1)))
+                    if not state.header:
+                        state.header = {
+                            k: v for k, v in record.items()
+                            if k not in ("type",)
+                        }
+                elif kind == "unit" and "key" in record:
+                    state.units[record["key"]] = UnitRecord(
+                        key=record["key"],
+                        unit=record.get("unit", ""),
+                        status=record.get("status", ""),
+                        attempt=int(record.get("attempt", 0)),
+                        elapsed_s=record.get("elapsed_s"),
+                        artifact=record.get("artifact"),
+                        error=record.get("error"),
+                    )
+                else:
+                    state.skipped_lines += 1
+        return state
+
+
+def iter_records(path: str) -> Iterable[Dict[str, Any]]:
+    """Yield every well-formed record in file order (for tooling/tests)."""
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record

@@ -179,3 +179,74 @@ class TestReportContract:
         replacement = ResultCache()
         configure(replacement)
         assert get_cache() is replacement
+
+
+class TestCorruptQuarantine:
+    def test_corrupt_entry_renamed_not_deleted(self, tmp_path):
+        """A torn pickle is quarantined to *.corrupt for post-mortem."""
+        store = ResultCache(cache_dir=str(tmp_path))
+        key = cache_key("quarantine")
+        store.put(key, {"payload": 1})
+        payload = next(f for f in tmp_path.rglob("*.pkl"))
+        payload.write_bytes(b"\x80torn mid-write")
+        cold = ResultCache(cache_dir=str(tmp_path))
+        found, _ = cold.get(key)
+        assert not found
+        assert not payload.exists()
+        corpses = list(tmp_path.rglob("*.corrupt"))
+        assert len(corpses) == 1
+        assert corpses[0].name == payload.name + ".corrupt"
+
+    def test_corrupt_counter_and_stats(self, tmp_path):
+        store = ResultCache(cache_dir=str(tmp_path))
+        key = cache_key("quarantine-counted")
+        store.put(key, [1, 2, 3])
+        payload = next(f for f in tmp_path.rglob("*.pkl"))
+        payload.write_bytes(b"garbage")
+        cold = ResultCache(cache_dir=str(tmp_path))
+        cold.get(key)
+        assert cold.stats.corrupt == 1
+        assert instrument.value(instrument.CACHE_CORRUPT) == 1
+
+    def test_quarantined_key_is_writable_again(self, tmp_path):
+        store = ResultCache(cache_dir=str(tmp_path))
+        key = cache_key("quarantine-rewrite")
+        store.put(key, "original")
+        payload = next(f for f in tmp_path.rglob("*.pkl"))
+        payload.write_bytes(b"garbage")
+        cold = ResultCache(cache_dir=str(tmp_path))
+        found, _ = cold.get(key)
+        assert not found
+        cold.put(key, "recomputed")
+        fresh = ResultCache(cache_dir=str(tmp_path))
+        found, value = fresh.get(key)
+        assert found and value == "recomputed"
+
+
+class TestArtifactDigests:
+    def test_put_returns_sha256_of_pickle_bytes(self, tmp_path):
+        import hashlib
+
+        store = ResultCache(cache_dir=str(tmp_path))
+        key = cache_key("digest")
+        digest = store.put(key, [1.0, 2.0])
+        expected = hashlib.sha256(
+            pickle.dumps([1.0, 2.0], protocol=pickle.HIGHEST_PROTOCOL)
+        ).hexdigest()
+        assert digest == expected
+        assert store.digest(key) == expected
+
+    def test_disk_hit_records_digest(self, tmp_path):
+        store = ResultCache(cache_dir=str(tmp_path))
+        key = cache_key("digest-hit")
+        written = store.put(key, {"a": 1})
+        cold = ResultCache(cache_dir=str(tmp_path))
+        found, _ = cold.get(key)
+        assert found
+        assert cold.digest(key) == written
+
+    def test_unpicklable_put_returns_none(self):
+        store = ResultCache()
+        key = cache_key("digest-nopickle")
+        assert store.put(key, lambda: None) is None
+        assert store.digest(key) is None

@@ -360,3 +360,136 @@ class TestBrokenPoolRecovery:
             assert executor._pool is None  # dead pool was torn down
         finally:
             executor.close()
+
+
+# Module-level helpers for the supervised path (must pickle).
+def _sleep_then_return(duration_s, value):
+    import time as _time
+
+    _time.sleep(duration_s)
+    return value
+
+
+def _raise_value_error(message):
+    raise ValueError(message)
+
+
+def _kill_self(value):
+    import os as _os
+    import signal as _signal
+
+    _os.kill(_os.getpid(), _signal.SIGKILL)
+    return value  # never reached
+
+
+class TestMapSupervised:
+    """Typed failure records: timeouts, crashes, and errors are data."""
+
+    def test_success_matches_plain_map(self):
+        from repro.core.executor import UnitFailure
+
+        units = [WorkUnit(name=f"s{i}", fn=_square, args=(i,))
+                 for i in range(4)]
+        executor = ParallelExecutor(jobs=2)
+        outcomes = executor.map_supervised(units)
+        assert outcomes == [0, 1, 4, 9]
+        assert not any(isinstance(o, UnitFailure) for o in outcomes)
+
+    def test_timeout_surfaces_as_record_not_exception(self):
+        from repro.core.executor import UnitFailure
+
+        units = [
+            WorkUnit(name="hang", fn=_sleep_then_return, args=(30.0, 1)),
+            WorkUnit(name="quick", fn=_square, args=(3,)),
+        ]
+        executor = ParallelExecutor(jobs=2)
+        outcomes = executor.map_supervised(units, unit_timeout_s=0.2)
+        failure, ok = outcomes
+        assert isinstance(failure, UnitFailure)
+        assert failure.kind == UnitFailure.TIMEOUT
+        assert failure.unit == "hang"
+        assert failure.elapsed_s >= 0.2
+        assert ok == 9  # the batchmate is unaffected (surgical kill)
+        assert instrument.value(instrument.RUNFARM_TIMEOUTS) == 1
+
+    def test_worker_death_surfaces_as_worker_lost(self):
+        from repro.core.executor import UnitFailure
+
+        units = [
+            WorkUnit(name="victim", fn=_kill_self, args=(1,)),
+            WorkUnit(name="survivor", fn=_square, args=(4,)),
+        ]
+        executor = ParallelExecutor(jobs=2)
+        outcomes = executor.map_supervised(units)
+        failure, ok = outcomes
+        assert isinstance(failure, UnitFailure)
+        assert failure.kind == UnitFailure.WORKER_LOST
+        assert ok == 16
+        assert instrument.value(instrument.RUNFARM_WORKER_LOST) == 1
+
+    def test_raising_unit_surfaces_as_error_record(self):
+        from repro.core.executor import UnitFailure
+
+        units = [WorkUnit(name="boom", fn=_raise_value_error,
+                          args=("no",))]
+        executor = ParallelExecutor(jobs=1)
+        (failure,) = executor.map_supervised(units)
+        assert isinstance(failure, UnitFailure)
+        assert failure.kind == UnitFailure.ERROR
+        assert failure.error_type == "ValueError"
+        assert "no" in failure.message
+        assert "boom" in failure.describe()
+
+    def test_counters_merge_only_from_successes(self):
+        units = [WorkUnit(name=f"bump{i}", fn=_bump_dotted_counters,
+                          args=(i + 1,)) for i in range(3)]
+        executor = ParallelExecutor(jobs=2)
+        executor.map_supervised(units)
+        assert instrument.value("sim.events_fired") == 6
+        assert instrument.value("custom.widget.count") == 12
+
+    def test_unpicklable_units_run_in_process(self):
+        from repro.core.executor import UnitFailure
+
+        seen = []
+
+        def closure(value):
+            seen.append(value)
+            return value + 1
+
+        units = [WorkUnit(name=f"c{i}", fn=closure, args=(i,))
+                 for i in range(3)]
+        executor = ParallelExecutor(jobs=2)
+        outcomes = executor.map_supervised(units)
+        assert outcomes == [1, 2, 3]
+        assert seen == [0, 1, 2]
+        assert not any(isinstance(o, UnitFailure) for o in outcomes)
+
+    def test_unpicklable_raising_unit_is_typed_too(self):
+        from repro.core.executor import UnitFailure
+
+        def bad():
+            raise RuntimeError("in-process")
+
+        (failure,) = ParallelExecutor(jobs=1).map_supervised(
+            [WorkUnit(name="bad", fn=bad)])
+        assert isinstance(failure, UnitFailure)
+        assert failure.kind == UnitFailure.ERROR
+        assert failure.error_type == "RuntimeError"
+
+
+class TestUnitContentKey:
+    def test_stable_and_distinct(self):
+        from repro.core.executor import unit_content_key
+
+        a1 = unit_content_key(WorkUnit(name="a", fn=_square, args=(1,)))
+        a2 = unit_content_key(WorkUnit(name="a", fn=_square, args=(1,)))
+        b = unit_content_key(WorkUnit(name="a", fn=_square, args=(2,)))
+        assert a1 == a2
+        assert a1 != b
+
+    def test_unpicklable_unit_has_no_key(self):
+        from repro.core.executor import unit_content_key
+
+        unit = WorkUnit(name="c", fn=lambda: None)
+        assert unit_content_key(unit) is None

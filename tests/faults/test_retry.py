@@ -97,3 +97,67 @@ class TestRetryingProcess:
         outcome, attempts, _ = self._drive(99, policy)
         assert not outcome.delivered
         assert len(attempts) == 2
+
+
+class TestElapsedDeadline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=2.0, max_elapsed_s=1.0)
+        # Exactly one attempt's timeout is a legal (tight) deadline.
+        RetryPolicy(timeout_s=1.0, max_elapsed_s=1.0)
+
+    def test_within_deadline(self):
+        policy = RetryPolicy(timeout_s=0.1, max_elapsed_s=1.0)
+        assert policy.within_deadline(0.5)
+        assert not policy.within_deadline(1.0)
+        assert not policy.within_deadline(2.0)
+        unbounded = RetryPolicy(timeout_s=0.1)
+        assert unbounded.within_deadline(1e12)
+
+    def test_simulate_retries_gives_up_at_deadline(self):
+        # 1 ms timeout doubling: backoffs 1, 2, 4, ... ms.  A 2.5 ms
+        # deadline allows the first retry (1 ms) but not the second
+        # (1 + 2 = 3 ms), even with attempts to spare.
+        policy = RetryPolicy(timeout_s=1e-3, max_attempts=10,
+                             jitter_fraction=0.0, max_elapsed_s=2.5e-3)
+        rng = np.random.default_rng(0)
+        outcome = simulate_retries(lambda i: True, policy, rng)
+        assert not outcome.delivered
+        assert outcome.attempts == 2
+        assert outcome.extra_delay_s == pytest.approx(1e-3)
+
+    def test_retrying_process_gives_up_at_deadline(self):
+        sim = Simulator()
+        policy = RetryPolicy(timeout_s=1e-3, max_attempts=10,
+                             jitter_fraction=0.0, max_elapsed_s=2.5e-3)
+        attempts = []
+
+        def attempt(i):
+            attempts.append((i, sim.now))
+            event = sim.event()
+            event.trigger(False)  # every attempt is lost
+            return event
+
+        rng = np.random.default_rng(0)
+        process = sim.process(retrying_process(sim, attempt, policy, rng))
+        sim.run()
+        outcome = process.value
+        assert not outcome.delivered
+        assert outcome.attempts == 2
+        # Gave up at 1 ms elapsed: the 2 ms second backoff would land
+        # past the 2.5 ms deadline.
+        assert sim.now == pytest.approx(1e-3)
+
+    def test_unbounded_policy_unchanged(self):
+        bounded = RetryPolicy(timeout_s=1e-3, max_attempts=4,
+                              jitter_fraction=0.0, max_elapsed_s=1.0)
+        unbounded = RetryPolicy(timeout_s=1e-3, max_attempts=4,
+                                jitter_fraction=0.0)
+        rng = np.random.default_rng(0)
+        # A generous deadline never changes the outcome.
+        a = simulate_retries(lambda i: i < 2, bounded, rng)
+        b = simulate_retries(lambda i: i < 2, unbounded, rng)
+        assert (a.delivered, a.attempts) == (b.delivered, b.attempts)
+        assert a.extra_delay_s == pytest.approx(b.extra_delay_s)

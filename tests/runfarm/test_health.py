@@ -1,0 +1,125 @@
+"""Worker heartbeats: beat files, staleness, and the parent-side scan."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import instrument
+from repro.runfarm import health
+from repro.runfarm.health import (
+    HealthMonitor,
+    WorkerBeat,
+    clear_beat,
+    start_heartbeat,
+    write_beat,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    instrument.reset()
+    yield
+    instrument.reset()
+
+
+class TestBeatFiles:
+    def test_write_and_scan_round_trip(self, tmp_path):
+        write_beat(str(tmp_path), "unit-a", seq=3, interval_s=0.1)
+        monitor = HealthMonitor(str(tmp_path))
+        beats = monitor.scan()
+        assert set(beats) == {"unit-a"}
+        beat = beats["unit-a"]
+        assert beat.pid == os.getpid()
+        assert beat.seq == 3
+        assert beat.alive
+        assert not beat.stale
+
+    def test_clear_beat_removes_file(self, tmp_path):
+        write_beat(str(tmp_path), "unit-a", seq=0)
+        clear_beat(str(tmp_path))
+        assert HealthMonitor(str(tmp_path)).scan() == {}
+
+    def test_no_tmp_litter(self, tmp_path):
+        for seq in range(5):
+            write_beat(str(tmp_path), "unit-a", seq=seq)
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_missing_dir_scans_empty(self, tmp_path):
+        monitor = HealthMonitor(str(tmp_path / "nope"))
+        assert monitor.scan() == {}
+
+
+class TestStaleness:
+    def test_fresh_beat_is_not_stale(self):
+        beat = WorkerBeat(pid=1, unit="u", seq=0, age_s=0.1,
+                          interval_s=0.25, alive=True)
+        assert not beat.stale
+
+    def test_old_beat_is_stale(self):
+        age = health.STALE_INTERVALS * 0.25 + 0.01
+        beat = WorkerBeat(pid=1, unit="u", seq=0, age_s=age,
+                          interval_s=0.25, alive=True)
+        assert beat.stale
+
+    def test_scan_reports_age_from_timestamp(self, tmp_path):
+        write_beat(str(tmp_path), "unit-a", seq=0, interval_s=0.1)
+        monitor = HealthMonitor(str(tmp_path))
+        # Pretend two seconds elapsed since the beat was written.
+        beats = monitor.scan(now=time.time() + 2.0)
+        assert beats["unit-a"].age_s >= 2.0
+        assert beats["unit-a"].stale
+
+
+class TestDeadWorkerSweep:
+    def test_dead_pid_file_is_swept(self, tmp_path):
+        # A pid that cannot exist: max pid is bounded well below 2**31.
+        dead_pid = 2**31 - 1
+        write_beat(str(tmp_path), "corpse", seq=0, pid=dead_pid)
+        monitor = HealthMonitor(str(tmp_path))
+        beats = monitor.scan()
+        assert not beats["corpse"].alive
+        # The corpse's file was unlinked; the next scan is clean.
+        assert monitor.scan() == {}
+
+    def test_torn_file_is_skipped(self, tmp_path):
+        path = tmp_path / f"{os.getpid()}.json"
+        path.write_text('{"pid": ')
+        assert HealthMonitor(str(tmp_path)).scan() == {}
+
+
+class TestHeartbeatThread:
+    def test_start_stop_lifecycle(self, tmp_path):
+        stop = start_heartbeat(str(tmp_path), "unit-a", interval_s=0.02)
+        # The first beat is synchronous.
+        monitor = HealthMonitor(str(tmp_path))
+        assert "unit-a" in monitor.scan()
+        time.sleep(0.08)
+        beats = monitor.scan()
+        assert beats["unit-a"].seq >= 1  # the thread re-beat
+        stop()
+        assert monitor.scan() == {}  # clean exit removes the file
+
+    def test_beats_counted(self, tmp_path):
+        stop = start_heartbeat(str(tmp_path), "unit-a", interval_s=0.02)
+        try:
+            time.sleep(0.08)
+            monitor = HealthMonitor(str(tmp_path))
+            monitor.scan()
+            assert monitor.total_beats >= 1
+            assert instrument.value(instrument.RUNFARM_HEARTBEATS) >= 1
+        finally:
+            stop()
+
+    def test_beat_payload_shape(self, tmp_path):
+        write_beat(str(tmp_path), "unit-a", seq=2, interval_s=0.5)
+        path = tmp_path / f"{os.getpid()}.json"
+        payload = json.loads(path.read_text())
+        assert payload["unit"] == "unit-a"
+        assert payload["seq"] == 2
+        assert payload["interval_s"] == 0.5
+        assert "ts_unix" in payload

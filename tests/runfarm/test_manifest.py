@@ -1,0 +1,143 @@
+"""Run manifest: atomic JSONL journaling and last-record-wins replay."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.runfarm import manifest as mf
+from repro.runfarm.manifest import ManifestState, RunManifest, iter_records
+
+
+def _begin(manifest, **overrides):
+    kwargs = dict(verb="fig4", seed=7, samples=20, requests=600,
+                  tier="smoke", jobs=2, code_version="test")
+    kwargs.update(overrides)
+    return manifest.begin_generation(**kwargs)
+
+
+class TestAppendAndLoad:
+    def test_directory_path_resolves_to_manifest_file(self, tmp_path):
+        run_dir = tmp_path / "run"
+        manifest = RunManifest(str(run_dir))
+        assert manifest.path == str(run_dir / mf.MANIFEST_NAME)
+        _begin(manifest)
+        # load() accepts the directory too.
+        state = RunManifest.load(str(run_dir))
+        assert state.generations == 1
+
+    def test_header_round_trips(self, tmp_path):
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest, seed=99, argv=["fig4", "--smoke"])
+        state = RunManifest.load(manifest.path)
+        assert state.header["verb"] == "fig4"
+        assert state.header["seed"] == 99
+        assert state.header["argv"] == ["fig4", "--smoke"]
+        assert state.header["code_version"] == "test"
+
+    def test_last_record_wins(self, tmp_path):
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest)
+        manifest.record_unit("k1", "unit-a", mf.RUNNING, attempt=1)
+        manifest.record_unit("k1", "unit-a", mf.TIMEOUT, attempt=1,
+                             elapsed_s=1.0, error="deadline")
+        manifest.record_unit("k1", "unit-a", mf.RUNNING, attempt=2)
+        manifest.record_unit("k1", "unit-a", mf.DONE, attempt=2,
+                             artifact="abc123")
+        state = RunManifest.load(manifest.path)
+        record = state.units["k1"]
+        assert record.status == mf.DONE
+        assert record.attempt == 2
+        assert record.artifact == "abc123"
+        assert record.complete
+        assert state.done_keys() == frozenset({"k1"})
+
+    def test_running_units_are_incomplete(self, tmp_path):
+        """A unit caught mid-flight by a dead driver re-executes."""
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest)
+        manifest.record_unit("done", "a", mf.DONE, attempt=1)
+        manifest.record_unit("inflight", "b", mf.RUNNING, attempt=1)
+        state = RunManifest.load(manifest.path)
+        assert state.done_keys() == frozenset({"done"})
+        assert [r.key for r in state.incomplete()] == ["inflight"]
+
+    def test_counts_and_summary(self, tmp_path):
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest)
+        manifest.record_unit("a", "a", mf.DONE)
+        manifest.record_unit("b", "b", mf.CACHED)
+        manifest.record_unit("c", "c", mf.QUARANTINED)
+        state = RunManifest.load(manifest.path)
+        assert state.counts() == {mf.DONE: 1, mf.CACHED: 1,
+                                  mf.QUARANTINED: 1}
+        assert "2/3 units complete" in state.summary()
+        assert "1 quarantined" in state.summary()
+
+
+class TestCrashTolerance:
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        """A SIGKILLed writer leaves at most one partial line."""
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest)
+        manifest.record_unit("k1", "a", mf.DONE, attempt=1)
+        with open(manifest.path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "unit", "key": "k2", "sta')
+        state = RunManifest.load(manifest.path)
+        assert state.skipped_lines == 1
+        assert state.done_keys() == frozenset({"k1"})
+
+    def test_garbage_lines_never_fatal(self, tmp_path):
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest)
+        with open(manifest.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('[1, 2, 3]\n')  # valid JSON, wrong shape
+            handle.write('{"type": "unit"}\n')  # unit without a key
+        manifest.record_unit("k1", "a", mf.DONE)
+        state = RunManifest.load(manifest.path)
+        assert state.skipped_lines == 3
+        assert state.done_keys() == frozenset({"k1"})
+
+    def test_appends_are_single_writes(self, tmp_path):
+        """Every record lands as one complete newline-terminated line."""
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest)
+        for i in range(50):
+            manifest.record_unit(f"k{i}", f"u{i}", mf.DONE, attempt=1)
+        with open(manifest.path, "rb") as handle:
+            data = handle.read()
+        assert data.endswith(b"\n")
+        lines = data.decode("utf-8").splitlines()
+        assert len(lines) == 51  # header + 50 units
+        for line in lines:
+            json.loads(line)  # every line parses
+
+
+class TestGenerations:
+    def test_generation_increments_across_resumes(self, tmp_path):
+        manifest = RunManifest(str(tmp_path))
+        assert _begin(manifest) == 1
+        manifest.record_unit("k1", "a", mf.DONE)
+        # A resume opens the same file and appends a new header.
+        again = RunManifest(str(tmp_path))
+        assert _begin(again) == 2
+        state = RunManifest.load(manifest.path)
+        assert state.generations == 2
+        # The first generation's header is preserved as *the* header.
+        assert state.header["generation"] == 1
+
+    def test_iter_records_in_file_order(self, tmp_path):
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest)
+        manifest.record_unit("k1", "a", mf.RUNNING, attempt=1)
+        manifest.record_unit("k1", "a", mf.DONE, attempt=1)
+        kinds = [r["type"] for r in iter_records(manifest.path)]
+        assert kinds == ["run", "unit", "unit"]
+
+    def test_state_run_dir(self, tmp_path):
+        manifest = RunManifest(str(tmp_path))
+        _begin(manifest)
+        state = RunManifest.load(manifest.path)
+        assert state.run_dir == str(tmp_path)
+        assert os.path.isdir(state.run_dir)
