@@ -116,6 +116,18 @@ ARTIFACT_SCHEMA: Dict[str, Any] = {
         # "result" payload is NOT validated against the spec schema.
         "partial": {"type": "boolean"},
         "quarantined": {"type": "array", "items": {"type": "string"}},
+        # SLO burn monitoring (repro.obs.slo): purely informational —
+        # present only when targets were evaluated, never required, and
+        # never a verdict input.
+        "slo": {
+            "type": "object",
+            "required": ["evaluated", "breaches", "targets"],
+            "properties": {
+                "evaluated": {"type": "integer"},
+                "breaches": {"type": "integer"},
+                "targets": {"type": "array", "items": {"type": "object"}},
+            },
+        },
     },
 }
 
@@ -154,16 +166,19 @@ def build_artifact(
     result: Any,
     partial: bool = False,
     quarantined: Sequence[str] = (),
+    slo: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The machine-readable envelope around one experiment's result.
 
     ``partial=True`` marks a run-farm degraded artifact: the supervisor
     quarantined the named units, ``result`` may be ``null``, and
     downstream schema validation of the result payload is skipped.
+    ``slo`` (when given) attaches the informational SLO-burn block; its
+    absence keeps pre-telemetry artifacts byte-identical.
     """
     from ..core.cache import CODE_VERSION
 
-    return {
+    artifact = {
         "experiment": experiment,
         "title": title,
         "tier": tier,
@@ -174,6 +189,9 @@ def build_artifact(
         "quarantined": [str(name) for name in quarantined],
         "result": to_jsonable(result),
     }
+    if slo is not None:
+        artifact["slo"] = to_jsonable(dict(slo))
+    return artifact
 
 
 def write_artifact(stream: IO[str], artifact: Mapping[str, Any]) -> None:

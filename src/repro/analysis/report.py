@@ -177,10 +177,39 @@ def render_faults_section(faults_text: str) -> List[str]:
     ]
 
 
+def render_profile_section(profiles: Sequence, top_n: int = 10) -> List[str]:
+    """The slowest-work-units block (supervised runs only).
+
+    ``profiles`` is a sequence of ``UnitProfile``-shaped objects (unit,
+    wall_s, cpu_s, events_per_s) — duck-typed so the report layer does
+    not import the executor.
+    """
+    ranked = sorted(profiles, key=lambda p: (-p.wall_s, p.unit))[:top_n]
+    lines = [
+        "",
+        "## Slowest work units (this run)",
+        "",
+        "Per-unit wall/CPU/event-rate profiles recorded by the run-farm",
+        "supervisor (DESIGN.md §12); also journaled to the manifest and",
+        "shown live by `repro status`.",
+        "",
+        "| unit | wall s | cpu s | kernel events/s |",
+        "|---|---|---|---|",
+    ]
+    for profile in ranked:
+        cpu = (f"{profile.cpu_s:.2f}" if profile.cpu_s is not None else "-")
+        eps = (f"{profile.events_per_s:,.0f}"
+               if profile.events_per_s is not None else "-")
+        lines.append(f"| {profile.unit} | {profile.wall_s:.2f} | {cpu} | "
+                     f"{eps} |")
+    return lines
+
+
 def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
                   table5_text: str, fig7_stats: Dict[str, float],
                   faults_text: Optional[str] = None,
-                  attribution_text: Optional[str] = None) -> str:
+                  attribution_text: Optional[str] = None,
+                  profiles: Optional[Sequence] = None) -> str:
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -207,6 +236,14 @@ def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
         "(`--resume <run-dir>`) to finish the quarantined units; because units",
         "are pure, the completed rerun is byte-identical to an uninterrupted",
         "one.",
+        "",
+        "**SLO-drift warnings never change a verdict.**  The telemetry layer",
+        "(DESIGN.md §12) compares each run's headline quantities against the",
+        "anchor bands recorded in this file and the per-platform p99 SLO",
+        "ceilings; drift emits a structured `repro.slo` warning and an",
+        "informational `slo` block in any `--json` artifact.  These are",
+        "operator signals only — no exit code, Key Observation, or offload",
+        "verdict is derived from them.",
         "",
         "| artifact | quantity | paper | measured | status |",
         "|---|---|---|---|---|",
@@ -255,6 +292,8 @@ def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
         ]
     if faults_text is not None:
         lines += render_faults_section(faults_text)
+    if profiles:
+        lines += render_profile_section(profiles)
     lines += [
         "",
         "## Known deviations and their causes",
@@ -335,6 +374,10 @@ def generate_report(
 
     anchor_rows = collect_anchor_rows(fig4_rows, fig6_rows, fig5_curves,
                                       table4, table5)
+    # Supervised runs expose per-unit profiles; a plain executor has no
+    # `unit_profiles` attribute and the section is simply omitted (so the
+    # checked-in EXPERIMENTS.md, generated unsupervised, is unchanged).
+    profiles = list(getattr(ctx.executor, "unit_profiles", None) or ())
     return render_report(
         anchor_rows,
         format_verdicts(verdicts),
@@ -343,4 +386,5 @@ def generate_report(
         faults_text=faults_text,
         attribution_text=format_attribution_markdown(
             attribution_rows_from_fig4(fig4_rows)),
+        profiles=profiles,
     )

@@ -25,7 +25,17 @@ Any verb takes ``--trace`` (record the run into the flight recorder and
 write ``trace.jsonl`` + Chrome ``trace.json`` on exit), ``--trace-dir``
 (where to write them; implies ``--trace``) and ``--log-level`` (the
 ``repro.*`` logger hierarchy).  The timing footer on stderr always
-prints — even when a verb fails — with probe/cache/kernel/trace totals.
+prints — even when a verb fails — with probe/cache/kernel/trace totals
+plus every other non-zero counter in sorted order and a one-line
+registry summary.
+
+Telemetry (:mod:`repro.obs`): every verb takes ``--metrics-out DIR``
+(write the full metric registry as OpenMetrics ``metrics.prom`` +
+``metrics.jsonl`` on exit) and ``--metrics-port N`` (serve live
+``GET /metrics`` on localhost while the run is in flight; 0 picks an
+ephemeral port).  ``repro status <run-dir>`` reports a supervised run's
+fleet progress from its manifest and heartbeats (``--watch`` to follow,
+``--json`` for machines).
 
 Run-farm supervision (``--run-dir``, ``--resume``, ``--unit-timeout``,
 ``--max-unit-attempts``) journals every work unit to a resumable
@@ -117,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="window for queue-depth/utilization series "
                              "in the trace")
+    parser.add_argument("--metrics-out", default=None, metavar="DIR",
+                        help="write the metric registry as OpenMetrics "
+                             "(metrics.prom) and JSONL (metrics.jsonl) "
+                             "into DIR on exit")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live GET /metrics (OpenMetrics) on "
+                             "127.0.0.1:PORT while the run is in flight "
+                             "(0 picks an ephemeral port)")
     parser.add_argument("--run-dir", default=None, metavar="DIR",
                         help="run under the run-farm supervisor, journaling "
                              "every work unit to DIR/manifest.jsonl and "
@@ -159,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
         p.add_argument("--metrics-interval", type=float, metavar="SECONDS",
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--metrics-out", metavar="DIR",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--metrics-port", type=int, metavar="PORT",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
         p.add_argument("--run-dir", metavar="DIR",
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
         p.add_argument("--resume", metavar="MANIFEST",
@@ -182,6 +205,27 @@ def build_parser() -> argparse.ArgumentParser:
     tracer.add_argument("experiment", choices=registry.names(),
                         help="which experiment to trace")
     _mirror_common(tracer)
+    status = sub.add_parser(
+        "status", help="fleet progress of a supervised run (from its "
+                       "manifest and heartbeats)"
+    )
+    # Deliberately NOT mirrored: `status` is a read-only observer, so
+    # the execution flags (--jobs, --smoke, --trace, ...) don't apply.
+    # Its --json is a flag (print a JSON document), unlike the global
+    # FILE-valued --json, hence the distinct dest.
+    status.add_argument("run_dir",
+                        help="run directory (or manifest file) to inspect")
+    status.add_argument("--watch", action="store_true",
+                        help="refresh until the run has no incomplete units")
+    status.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="refresh period for --watch (default 2.0)")
+    status.add_argument("--json", action="store_true", dest="status_json",
+                        help="print one machine-readable JSON document "
+                             "instead of text")
+    status.add_argument("--log-level", choices=("debug", "info", "warning",
+                                                "error"),
+                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     return parser
 
 
@@ -211,6 +255,17 @@ def _write_trace_files(trace_dir: str) -> None:
           f"({len(rec)} events, {rec.dropped} dropped)", file=sys.stderr)
 
 
+def _write_metrics_files(metrics_dir: str) -> None:
+    """Export the metric registry as OpenMetrics text + JSONL."""
+    from .obs import metrics as obs_metrics
+    from .obs.openmetrics import write_metrics_files
+
+    prom_path, jsonl_path, count = write_metrics_files(
+        metrics_dir, obs_metrics.registry())
+    print(f"wrote {prom_path} and {jsonl_path} ({count} metrics)",
+          file=sys.stderr)
+
+
 def _experiment_name(args) -> Optional[str]:
     """The registered experiment a verb resolves to (None for report)."""
     if args.command == "trace":
@@ -223,6 +278,13 @@ def _experiment_name(args) -> Optional[str]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "status":
+        # Read-only observer verb: no executor, cache, or trace setup —
+        # and none of the execution-flag validation below applies.
+        _configure_logging(args.log_level)
+        from .runfarm import status as fleet_status
+
+        return fleet_status.run_cli(args)
     name = _experiment_name(args)
     if args.csv and (name is None or not registry.get(name).supports_csv):
         parser.error(
@@ -238,6 +300,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.metrics_interval <= 0:
         parser.error("--metrics-interval must be positive")
+    if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
+        parser.error("--metrics-port must be in [0, 65535]")
     if args.unit_timeout is not None and args.unit_timeout <= 0:
         parser.error("--unit-timeout must be positive")
     if args.max_unit_attempts is not None and args.max_unit_attempts < 1:
@@ -265,6 +329,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracing = args.trace or args.trace_dir is not None or args.command == "trace"
     if tracing:
         trace.enable(metrics_interval_s=args.metrics_interval)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from .obs.openmetrics import MetricsServer
+
+        metrics_server = MetricsServer(port=args.metrics_port).start()
+        print(f"serving metrics at "
+              f"http://127.0.0.1:{metrics_server.port}/metrics",
+              file=sys.stderr)
     started = time.time()
     try:
         try:
@@ -280,13 +352,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
             return EXIT_PARTIAL
     finally:
-        # The footer (and any trace files) must survive a failing verb:
-        # a run that died mid-study still reports what it actually did.
+        # The footer (and any trace/metrics files) must survive a
+        # failing verb: a run that died mid-study still reports what it
+        # actually did.
         try:
             executor.close()
             if tracing:
                 _write_trace_files(args.trace_dir or ".")
+            if args.metrics_out:
+                _write_metrics_files(args.metrics_out)
         finally:
+            if metrics_server is not None:
+                metrics_server.close()
             _print_footer(started, executor)
             trace.disable()
 
@@ -382,12 +459,21 @@ def _print_footer(started: float,
     ]
     if isinstance(executor, SupervisedExecutor):
         parts.append(executor.summary())
-        beats = instrument.value(instrument.RUNFARM_HEARTBEATS)
-        if beats:
-            parts.append(f"hb {beats}")
+    # Every other non-zero counter, in sorted (stable) order, so new
+    # subsystems surface in the footer without bespoke formatting.
+    from .obs import metrics as obs_metrics
+
+    shown = {instrument.PROBES, instrument.PROBES_SAVED,
+             instrument.CACHE_HITS, instrument.CACHE_MISSES,
+             instrument.EVENTS_SCHEDULED, instrument.EVENTS_FIRED}
+    registry_counters = obs_metrics.registry().counter_values()
+    parts.extend(f"{name} {value}"
+                 for name, value in sorted(registry_counters.items())
+                 if value and name not in shown)
     rec = trace.recorder()
     if rec is not None:
         parts.append(trace.summary_line(rec))
+    parts.append(obs_metrics.summary_line())
     print(f"[{' | '.join(parts)}]", file=sys.stderr)
 
 
@@ -395,6 +481,7 @@ def _write_json_artifact(path: str, spec, ctx: ExperimentContext,
                          result, *, partial: bool = False,
                          quarantined=()) -> None:
     from .analysis.export import build_artifact, write_artifact
+    from .obs import slo as slo_mod
 
     if partial:
         payload = None
@@ -409,6 +496,7 @@ def _write_json_artifact(path: str, spec, ctx: ExperimentContext,
         result=payload,
         partial=partial,
         quarantined=quarantined,
+        slo=slo_mod.block(getattr(ctx, "slo_findings", {}).get(spec.name, ())),
     )
     with open(path, "w") as handle:
         write_artifact(handle, artifact)

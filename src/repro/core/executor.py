@@ -49,6 +49,7 @@ from typing import (
     Union,
 )
 
+from ..obs import metrics
 from . import instrument, trace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -108,33 +109,36 @@ class WorkUnit:
 
 def _invoke(
     unit: WorkUnit, trace_spec: Optional[Dict[str, Any]] = None
-) -> Tuple[Any, Dict[str, int], Optional[List[trace.TraceEvent]]]:
-    """Worker entry point: run a unit; capture counter + trace deltas.
+) -> Tuple[Any, Dict[str, Any], Optional[List[trace.TraceEvent]]]:
+    """Worker entry point: run a unit; capture metric + trace deltas.
 
-    When the parent traces, the worker records onto a fresh buffer under
-    the unit's track (per-track logical clocks restart at zero, exactly
-    as they would on first use of that track in a serial run) and ships
-    the events back alongside the counter delta.
+    The delta is a full metric-registry delta (counters, gauges,
+    histogram observations — see :meth:`repro.obs.metrics.MetricRegistry
+    .delta_since`), a plain picklable dict the parent merges in
+    submission order.  When the parent traces, the worker records onto a
+    fresh buffer under the unit's track (per-track logical clocks
+    restart at zero, exactly as they would on first use of that track in
+    a serial run) and ships the events back alongside the delta.
     """
-    before = instrument.snapshot()
+    before = metrics.snapshot()
     if trace_spec is None:
         result = unit.run()
-        return result, instrument.delta_since(before), None
+        return result, metrics.delta_since(before), None
     recorder = trace.enable(**trace_spec)
     try:
         with trace.track(unit.name):
             result = unit.run()
-        return result, instrument.delta_since(before), recorder.events()
+        return result, metrics.delta_since(before), recorder.events()
     finally:
         trace.disable()
 
 
 def _invoke_chunk(
     units: Sequence[WorkUnit], trace_spec: Optional[Dict[str, Any]] = None
-) -> List[Tuple[Any, Dict[str, int], Optional[List[trace.TraceEvent]]]]:
+) -> List[Tuple[Any, Dict[str, Any], Optional[List[trace.TraceEvent]]]]:
     """Run several units in one worker round trip (chunked submission).
 
-    Each unit still gets its own counter snapshot and (when tracing) its
+    Each unit still gets its own metric snapshot and (when tracing) its
     own fresh recorder, so the per-unit tuples shipped back are exactly
     what per-unit submission would have produced — chunking changes the
     IPC count, never the payload.
@@ -178,11 +182,12 @@ def _supervised_worker(conn, unit: WorkUnit, attempt: int,
                        heartbeat_interval_s: float) -> None:
     """Child-process entry point for one supervised unit.
 
-    Runs exactly one unit, ships ``("ok", (result, counter_delta,
-    trace_events))`` or ``("error", type_name, message)`` back over the
-    pipe, and beats a heartbeat file for the parent's health monitor
-    while the unit runs.  A SIGKILL (timeout enforcement, OOM, chaos)
-    simply truncates the pipe — the parent reads EOF as worker-lost.
+    Runs exactly one unit, ships ``("ok", (result, metric_delta,
+    trace_events), cpu_seconds)`` or ``("error", type_name, message)``
+    back over the pipe, and beats a heartbeat file for the parent's
+    health monitor while the unit runs.  A SIGKILL (timeout enforcement,
+    OOM, chaos) simply truncates the pipe — the parent reads EOF as
+    worker-lost.
     """
     stop_heartbeat: Optional[Callable[[], None]] = None
     try:
@@ -192,8 +197,10 @@ def _supervised_worker(conn, unit: WorkUnit, attempt: int,
             stop_heartbeat = start_heartbeat(
                 heartbeat_dir, unit.name, interval_s=heartbeat_interval_s)
         _chaos_maybe_kill(unit.name, attempt)
+        cpu_before = time.process_time()
         outcome = _invoke(unit, trace_spec)
-        conn.send(("ok", outcome))
+        cpu_s = time.process_time() - cpu_before
+        conn.send(("ok", outcome, cpu_s))
     except BaseException as exc:  # noqa: BLE001 — typed record, not a raise
         try:
             conn.send(("error", type(exc).__name__, str(exc)))
@@ -224,7 +231,7 @@ class _Running:
     reported_slow: bool = False
 
 
-def _emit_unit_profile(unit: WorkUnit, events: int, delta: Dict[str, int]) -> None:
+def _emit_unit_profile(unit: WorkUnit, events: int, delta: Dict[str, Any]) -> None:
     """Per-work-unit profile instant on the parent's current track.
 
     Emitted at the same point of the merge sequence in both the serial
@@ -235,9 +242,31 @@ def _emit_unit_profile(unit: WorkUnit, events: int, delta: Dict[str, int]) -> No
         "unit", trace.PROBE,
         unit=unit.name,
         events=events,
-        probes=delta.get(instrument.PROBES, 0),
-        sim_events=delta.get(instrument.EVENTS_FIRED, 0),
+        probes=metrics.counter_delta(delta, instrument.PROBES),
+        sim_events=metrics.counter_delta(delta, instrument.EVENTS_FIRED),
     )
+
+
+@dataclass(frozen=True)
+class UnitProfile:
+    """Parent-side performance record of one completed supervised unit.
+
+    ``wall_s`` is measured by the supervisor's clock (spawn to reap),
+    ``cpu_s`` by the worker's own ``time.process_time()``, and
+    ``sim_events`` comes from the unit's merged metric delta — so the
+    profile is a pure observation that never feeds back into results.
+    """
+
+    unit: str
+    wall_s: float
+    cpu_s: Optional[float]
+    sim_events: int
+
+    @property
+    def events_per_s(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.sim_events / self.wall_s
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -296,6 +325,10 @@ class ParallelExecutor:
         self.fallbacks = 0
         self.bypasses = 0
         self.pool_restarts = 0
+        # Per-unit wall/CPU/events profiles from the most recent
+        # map_supervised call (unit name -> UnitProfile); the run-farm
+        # supervisor journals these into the manifest.
+        self.last_profiles: Dict[str, UnitProfile] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._seconds_per_unit: Optional[float] = None
 
@@ -386,11 +419,11 @@ class ParallelExecutor:
         results: List[Any] = []
         for unit in units:
             before_appended = recorder.appended
-            before = instrument.snapshot()
+            before = metrics.snapshot()
             with trace.track(unit.name):
                 result = unit.run()
             _emit_unit_profile(unit, recorder.appended - before_appended,
-                               instrument.delta_since(before))
+                               metrics.delta_since(before))
             results.append(result)
         return results
 
@@ -426,7 +459,7 @@ class ParallelExecutor:
         # sequence (and counter totals) byte for byte.
         for chunk, chunk_outcomes in zip(chunks, outcomes):
             for unit, (result, delta, events) in zip(chunk, chunk_outcomes):
-                instrument.merge(delta)
+                metrics.merge(delta)
                 if events is not None and recorder is not None:
                     recorder.extend(events)
                     _emit_unit_profile(unit, len(events), delta)
@@ -460,6 +493,7 @@ class ParallelExecutor:
         """
         units = list(units)
         self.units_run += len(units)
+        self.last_profiles = {}
         if attempts is None:
             attempts = [1] * len(units)
         if not units:
@@ -495,7 +529,8 @@ class ParallelExecutor:
                           "metrics_interval_s": recorder.metrics_interval_s}
         workers = self._effective_workers()
         results: List[Union[Any, UnitFailure]] = [None] * len(units)
-        successes: Dict[int, Tuple[Any, Dict[str, int], Optional[list]]] = {}
+        # index -> (worker outcome tuple, worker cpu seconds, wall seconds)
+        successes: Dict[int, Tuple[Any, Optional[float], float]] = {}
         running: Dict[Any, _Running] = {}
         monitor = None
         if heartbeat_dir is not None:
@@ -551,7 +586,8 @@ class ParallelExecutor:
                                   unit=state.unit.name, attempt=state.attempt)
                 results[state.index] = failure
             elif payload[0] == "ok":
-                successes[state.index] = payload[1]
+                cpu_s = payload[2] if len(payload) > 2 else None
+                successes[state.index] = (payload[1], cpu_s, elapsed)
             else:
                 _tag, error_type, message = payload
                 results[state.index] = UnitFailure(
@@ -606,14 +642,18 @@ class ParallelExecutor:
                     conn.close()
                 except OSError:
                     pass
-        # Merge successful units' counters/traces in submission order so
+        # Merge successful units' metrics/traces in submission order so
         # supervised output matches the serial reference byte for byte.
         for index in sorted(successes):
-            result, delta, events = successes[index]
-            instrument.merge(delta)
+            (result, delta, events), cpu_s, wall_s = successes[index]
+            metrics.merge(delta)
             if events is not None and recorder is not None:
                 recorder.extend(events)
                 _emit_unit_profile(units[index], len(events), delta)
+            self.last_profiles[units[index].name] = UnitProfile(
+                unit=units[index].name, wall_s=wall_s, cpu_s=cpu_s,
+                sim_events=metrics.counter_delta(delta,
+                                                 instrument.EVENTS_FIRED))
             results[index] = result
         return results
 
@@ -669,6 +709,7 @@ class ParallelExecutor:
         results: List[Union[Any, UnitFailure]] = []
         for unit, attempt in zip(units, attempts):
             started = time.perf_counter()
+            cpu_started = time.process_time()
             previous = None
             if use_alarm:
                 def _on_alarm(_signum, _frame):
@@ -676,17 +717,24 @@ class ParallelExecutor:
                 previous = signal.signal(signal.SIGALRM, _on_alarm)
                 signal.setitimer(signal.ITIMER_REAL, unit_timeout_s)
             try:
+                before = metrics.snapshot()
                 if trace.TRACING:
                     recorder = trace.recorder()
                     before_appended = recorder.appended
-                    before = instrument.snapshot()
                     with trace.track(unit.name):
                         result = unit.run()
                     _emit_unit_profile(unit,
                                        recorder.appended - before_appended,
-                                       instrument.delta_since(before))
+                                       metrics.delta_since(before))
                 else:
                     result = unit.run()
+                self.last_profiles[unit.name] = UnitProfile(
+                    unit=unit.name,
+                    wall_s=time.perf_counter() - started,
+                    cpu_s=time.process_time() - cpu_started,
+                    sim_events=metrics.counter_delta(
+                        metrics.delta_since(before),
+                        instrument.EVENTS_FIRED))
                 results.append(result)
             except _InProcessTimeout:
                 instrument.increment(instrument.RUNFARM_TIMEOUTS)

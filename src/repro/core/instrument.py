@@ -1,18 +1,25 @@
-"""Process-local instrumentation counters.
+"""Process-local instrumentation counters (shim over :mod:`repro.obs`).
 
 The experiment stack counts cheap, coarse things — rate probes run,
 cache hits, kernel events, trace-buffer evictions — so the CLI can
-report what a command actually did.  The counters are plain
-process-local integers keyed by *any* dotted name (the well-known names
-below are just constants); the parallel executor snapshots them around
-each work unit in the worker process and ships the delta back, so
-parent-side totals are identical whether a study ran with ``--jobs 1``
-or ``--jobs N``.
+report what a command actually did.  Counters are keyed by *any* dotted
+name (the well-known names below are just constants); the parallel
+executor snapshots them around each work unit in the worker process and
+ships the delta back, so parent-side totals are identical whether a
+study ran with ``--jobs 1`` or ``--jobs N``.
+
+Since the typed metric registry landed (:mod:`repro.obs.metrics`), this
+module is a thin back-compat shim over the default registry's counters:
+the dict-of-ints API every call site and test uses is preserved exactly,
+while the same counters also appear in OpenMetrics exposition
+(``--metrics-out``, ``--metrics-port``) alongside gauges and histograms.
 """
 
 from __future__ import annotations
 
 from typing import Dict
+
+from ..obs import metrics as _metrics
 
 PROBES = "probes"
 # Probes an analytic warm start avoided versus the equivalent cold
@@ -43,28 +50,32 @@ RUNFARM_WORKERS_SLOW = "runfarm.workers_slow"
 EVENTS_SCHEDULED = "sim.events_scheduled"
 EVENTS_FIRED = "sim.events_fired"
 TRACE_DROPPED = "trace.dropped"
-
-_counters: Dict[str, int] = {}
+# SLO burn monitor (obs/slo.py): targets evaluated and breaches seen.
+SLO_EVALUATED = "slo.evaluated"
+SLO_BREACHES = "slo.breaches"
 
 
 def increment(name: str, amount: int = 1) -> None:
-    _counters[name] = _counters.get(name, 0) + amount
+    _metrics.registry().counter(name).inc(amount)
 
 
 def value(name: str) -> int:
-    return _counters.get(name, 0)
+    metric = _metrics.registry().get(name)
+    if metric is None or metric.kind != _metrics.COUNTER:
+        return 0
+    return metric.value
 
 
 def snapshot() -> Dict[str, int]:
     """A copy of every counter (used to compute per-unit deltas)."""
-    return dict(_counters)
+    return _metrics.registry().counter_values()
 
 
 def delta_since(before: Dict[str, int]) -> Dict[str, int]:
     """Counter increments since ``before`` (a prior :func:`snapshot`)."""
     return {
         name: count - before.get(name, 0)
-        for name, count in _counters.items()
+        for name, count in _metrics.registry().counter_values().items()
         if count != before.get(name, 0)
     }
 
@@ -76,4 +87,5 @@ def merge(delta: Dict[str, int]) -> None:
 
 
 def reset() -> None:
-    _counters.clear()
+    """Clear the whole default metric registry (counters and all)."""
+    _metrics.reset()

@@ -49,6 +49,7 @@ consume it.
 
 from __future__ import annotations
 
+import logging
 import threading
 from dataclasses import dataclass, field
 from typing import (
@@ -67,6 +68,8 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.executor import ParallelExecutor
     from ..core.rng import RandomStreams
+
+logger = logging.getLogger("repro.registry")
 
 DEFAULT_TIER = "default"
 SMOKE_TIER = "smoke"
@@ -273,6 +276,10 @@ class ExperimentContext:
         self._results: Dict[str, Any] = {}
         self._running: List[str] = []
         self._current: List[Experiment] = []
+        # SLO-drift findings per completed experiment (repro.obs.slo).
+        # Purely observational: warnings and JSON-artifact annotations,
+        # never verdicts or exit codes.
+        self.slo_findings: Dict[str, List[Any]] = {}
 
     @property
     def seed(self) -> int:
@@ -330,6 +337,19 @@ class ExperimentContext:
             self._running.pop()
             self._current.pop()
         self._results[name] = result
+        if not isinstance(result, PartialResult):
+            # SLO burn check on the completed artifact.  Best-effort by
+            # design: a telemetry bug must never take down a run.
+            try:
+                from ..obs import slo
+
+                findings = slo.observe(name, result, smoke=self.smoke)
+            except Exception:  # pragma: no cover — defensive
+                logger.debug("slo evaluation failed for %s", name,
+                             exc_info=True)
+                findings = []
+            if findings:
+                self.slo_findings[name] = list(findings)
         return result
 
     def has_result(self, name: str) -> bool:

@@ -1,0 +1,306 @@
+"""OpenMetrics exposition, JSONL export, and a localhost /metrics server.
+
+Three consumers of the metric registry:
+
+* :func:`render` — the OpenMetrics text format (``# TYPE`` declarations,
+  ``_total`` counters, ``_bucket{le=...}``/``_sum``/``_count``
+  histograms, terminal ``# EOF``), written to ``metrics.prom`` by
+  ``--metrics-out`` and served live by :class:`MetricsServer`;
+* :func:`export_jsonl` — one JSON object per metric (raw name, type,
+  value or full distribution with exact quantiles), the
+  machine-readable sibling CI and notebooks consume;
+* :func:`parse_openmetrics` — a deliberately strict parser used by the
+  ``metrics-smoke`` CI job: malformed exposition (missing ``# EOF``,
+  samples before their ``# TYPE``, counters without ``_total``,
+  non-monotone bucket counts) raises ``ValueError`` instead of being
+  shrugged off.
+
+Metric names are sanitized into the ``repro_`` namespace
+(``[^a-zA-Z0-9_]`` becomes ``_``), so the dotted internal names
+(``runfarm.timeout``) expose as ``repro_runfarm_timeout``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Any, Dict, List, Optional, Tuple
+
+from . import metrics as metrics_mod
+from .metrics import COUNTER, GAUGE, HISTOGRAM, MetricRegistry
+
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str) -> str:
+    """The OpenMetrics name for an internal dotted metric name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized.startswith("repro_"):
+        sanitized = f"repro_{sanitized}"
+    return sanitized
+
+
+def _fmt(value: float) -> str:
+    """Stable numeric formatting (integers render without exponent)."""
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def render(registry: Optional[MetricRegistry] = None) -> str:
+    """The full OpenMetrics text exposition of a registry."""
+    registry = registry if registry is not None else metrics_mod.registry()
+    lines: List[str] = []
+    for metric in registry.metrics():
+        name = metric_name(metric.name)
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        if metric.kind == COUNTER:
+            lines.append(f"{name}_total {_fmt(metric.value)}")
+        elif metric.kind == GAUGE:
+            lines.append(f"{name} {_fmt(metric.value)}")
+        else:
+            cumulative = metric.cumulative_counts()
+            for bound, count in zip(metric.buckets, cumulative[:-1]):
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(bound)}"}} {count}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_fmt(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def export_jsonl(stream: IO[str], registry: Optional[MetricRegistry] = None
+                 ) -> int:
+    """One JSON object per metric; returns the number of lines written."""
+    registry = registry if registry is not None else metrics_mod.registry()
+    count = 0
+    for metric in registry.metrics():
+        doc: Dict[str, Any] = {
+            "name": metric.name,
+            "om_name": metric_name(metric.name),
+            "type": metric.kind,
+        }
+        if metric.help:
+            doc["help"] = metric.help
+        if metric.kind in (COUNTER, GAUGE):
+            doc["value"] = metric.value
+        else:
+            doc["count"] = metric.count
+            doc["sum"] = metric.sum
+            doc["buckets"] = [
+                [bound, cum] for bound, cum
+                in zip(metric.buckets, metric.cumulative_counts()[:-1])
+            ]
+            doc["p50"] = metric.quantile(0.50)
+            doc["p90"] = metric.quantile(0.90)
+            doc["p99"] = metric.quantile(0.99)
+        stream.write(json.dumps(doc, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Strict parsing (the CI validation side)
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+    r"(?:\{([^}]*)\})?"                     # optional label set
+    r" (-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|[+-]Inf|NaN)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _family_of(sample_name: str, families: Dict[str, Dict[str, Any]]
+               ) -> Optional[Tuple[str, str]]:
+    """Resolve a sample name to (family, suffix) against declared types."""
+    for suffix in ("_total", "_bucket", "_sum", "_count", ""):
+        if suffix and not sample_name.endswith(suffix):
+            continue
+        base = sample_name[:-len(suffix)] if suffix else sample_name
+        if base in families:
+            return base, suffix
+    return None
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse (and validate) an OpenMetrics exposition; strict on purpose.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)],
+    ...}}``.  Raises ``ValueError`` on any structural violation: no
+    terminal ``# EOF``, a sample with no preceding ``# TYPE``, a counter
+    sample without the ``_total`` suffix, histogram bucket counts that
+    are not monotone or whose ``+Inf`` bucket disagrees with ``_count``.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition does not end with '# EOF'")
+    families: Dict[str, Dict[str, Any]] = {}
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            _, _, name, kind = parts
+            if kind not in (COUNTER, GAUGE, HISTOGRAM):
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+            families[name] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unexpected comment: {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        sample_name, label_text, value_text = match.groups()
+        resolved = _family_of(sample_name, families)
+        if resolved is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no preceding "
+                f"# TYPE declaration")
+        family, suffix = resolved
+        kind = families[family]["type"]
+        if kind == COUNTER and suffix != "_total":
+            raise ValueError(
+                f"line {lineno}: counter sample {sample_name!r} must use "
+                f"the _total suffix")
+        if kind == GAUGE and suffix != "":
+            raise ValueError(
+                f"line {lineno}: gauge sample {sample_name!r} must not "
+                f"carry a suffix")
+        if kind == HISTOGRAM and suffix not in ("_bucket", "_sum", "_count"):
+            raise ValueError(
+                f"line {lineno}: histogram sample {sample_name!r} must use "
+                f"_bucket/_sum/_count")
+        labels = dict(_LABEL_RE.findall(label_text or ""))
+        if suffix == "_bucket" and "le" not in labels:
+            raise ValueError(f"line {lineno}: bucket sample lacks an 'le' "
+                             f"label: {line!r}")
+        families[family]["samples"].append(
+            (sample_name, labels, float(value_text)))
+
+    for family, info in families.items():
+        if info["type"] != HISTOGRAM:
+            continue
+        buckets = [(float(labels["le"]), value)
+                   for name, labels, value in info["samples"]
+                   if name == f"{family}_bucket"]
+        counts = [value for name, _labels, value in info["samples"]
+                  if name == f"{family}_count"]
+        if not buckets:
+            raise ValueError(f"histogram {family} has no _bucket samples")
+        if not counts:
+            raise ValueError(f"histogram {family} has no _count sample")
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            raise ValueError(f"histogram {family} bucket bounds are not "
+                             f"ascending: {bounds}")
+        if bounds[-1] != float("inf"):
+            raise ValueError(f"histogram {family} lacks a +Inf bucket")
+        values = [v for _, v in buckets]
+        if any(b > a for a, b in zip(values[1:], values)):
+            raise ValueError(f"histogram {family} bucket counts are not "
+                             f"monotone: {values}")
+        if values[-1] != counts[0]:
+            raise ValueError(
+                f"histogram {family}: +Inf bucket {values[-1]} != _count "
+                f"{counts[0]}")
+    return families
+
+
+# ---------------------------------------------------------------------------
+# Live scraping (opt-in, localhost only)
+# ---------------------------------------------------------------------------
+
+
+class MetricsServer:
+    """A localhost HTTP server exposing ``GET /metrics`` for live scrapes.
+
+    Opt-in via ``--metrics-port`` (0 picks an ephemeral port).  Binds
+    127.0.0.1 only — this is an operator convenience for watching long
+    farm runs, not a network service.  The handler renders the registry
+    at request time, so a scrape always sees current totals.
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1",
+                 registry: Optional[MetricRegistry] = None):
+        self._registry = registry
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        registry = self._registry
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 — http.server API
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                body = render(registry).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *_args: Any) -> None:
+                pass  # scrapes must not spam stderr
+
+        self._server = ThreadingHTTPServer(
+            (self._host, self._requested_port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-metrics",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+def write_metrics_files(metrics_dir: str,
+                        registry: Optional[MetricRegistry] = None
+                        ) -> Tuple[str, str, int]:
+    """Write ``metrics.prom`` + ``metrics.jsonl`` into ``metrics_dir``.
+
+    Returns ``(prom_path, jsonl_path, n_metrics)``.
+    """
+    import os
+
+    os.makedirs(metrics_dir, exist_ok=True)
+    prom_path = os.path.join(metrics_dir, "metrics.prom")
+    jsonl_path = os.path.join(metrics_dir, "metrics.jsonl")
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(render(registry))
+    with open(jsonl_path, "w", encoding="utf-8") as handle:
+        count = export_jsonl(handle, registry)
+    return prom_path, jsonl_path, count

@@ -19,7 +19,10 @@ the directory and classifies:
 Heartbeat files are process-local (named by pid), written atomically,
 and deleted on clean worker exit, so a scan only ever sees live workers
 plus the corpses of killed ones (stale files whose pid is gone are
-swept).
+swept).  Each beat also records the writing process's start time (the
+Linux ``/proc`` ``starttime`` field), so a beat file whose pid has been
+recycled by an unrelated process is recognized as a corpse too instead
+of masquerading as a healthy worker.
 """
 
 from __future__ import annotations
@@ -58,6 +61,28 @@ def _beat_path(heartbeat_dir: str, pid: int) -> str:
     return os.path.join(heartbeat_dir, f"{pid}.json")
 
 
+def _proc_start_id(pid: int) -> Optional[str]:
+    """The process's start time in clock ticks (Linux ``/proc``).
+
+    Together with the pid this identifies one process *incarnation*: a
+    recycled pid gets a different start time, so a beat file stamped
+    with the original worker's start id can be told apart from an
+    unrelated process that happens to wear the same pid.  Returns
+    ``None`` where ``/proc`` is unavailable (non-Linux), in which case
+    the monitor falls back to pid-liveness alone.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            data = handle.read()
+        # Field 22 (starttime).  The comm field (2) may contain spaces
+        # and parentheses, so split after the LAST ')': the remainder
+        # starts at field 3.
+        rest = data.rsplit(b")", 1)[1].split()
+        return rest[19].decode("ascii")
+    except (OSError, IndexError, UnicodeDecodeError):
+        return None
+
+
 def write_beat(heartbeat_dir: str, unit: str, seq: int,
                interval_s: float = DEFAULT_INTERVAL_S,
                pid: Optional[int] = None) -> None:
@@ -70,6 +95,7 @@ def write_beat(heartbeat_dir: str, unit: str, seq: int,
         "seq": seq,
         "interval_s": interval_s,
         "ts_unix": time.time(),
+        "proc_start": _proc_start_id(pid),
     }
     fd, tmp = tempfile.mkstemp(dir=heartbeat_dir, suffix=".tmp")
     try:
@@ -168,6 +194,17 @@ class HealthMonitor:
             pid = int(payload.get("pid", 0))
             seq = int(payload.get("seq", 0))
             alive = _pid_alive(pid)
+            if alive:
+                # Pid-reuse hazard: the pid may be alive but belong to a
+                # different process incarnation than the one that wrote
+                # the beat.  Compare recorded vs current start time and
+                # treat a mismatch as a corpse wearing a recycled pid.
+                recorded_start = payload.get("proc_start")
+                if recorded_start is not None:
+                    current_start = _proc_start_id(pid)
+                    if (current_start is not None
+                            and current_start != recorded_start):
+                        alive = False
             if not alive:
                 try:
                     os.unlink(path)

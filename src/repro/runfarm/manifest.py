@@ -58,6 +58,12 @@ class UnitRecord:
     elapsed_s: Optional[float] = None
     artifact: Optional[str] = None
     error: Optional[str] = None
+    # Per-unit profile (recorded on DONE by the supervisor from the
+    # executor's UnitProfile): wall seconds, worker CPU seconds, and
+    # simulated kernel events per wall second.
+    wall_s: Optional[float] = None
+    cpu_s: Optional[float] = None
+    events_per_s: Optional[float] = None
 
     @property
     def complete(self) -> bool:
@@ -162,7 +168,10 @@ class RunManifest:
     def record_unit(self, key: str, unit: str, status: str, *,
                     attempt: int = 0, elapsed_s: Optional[float] = None,
                     artifact: Optional[str] = None,
-                    error: Optional[str] = None) -> None:
+                    error: Optional[str] = None,
+                    wall_s: Optional[float] = None,
+                    cpu_s: Optional[float] = None,
+                    events_per_s: Optional[float] = None) -> None:
         record: Dict[str, Any] = {
             "type": "unit",
             "key": key,
@@ -177,6 +186,12 @@ class RunManifest:
             record["artifact"] = artifact
         if error is not None:
             record["error"] = error[:500]
+        if wall_s is not None:
+            record["wall_s"] = round(wall_s, 6)
+        if cpu_s is not None:
+            record["cpu_s"] = round(cpu_s, 6)
+        if events_per_s is not None:
+            record["events_per_s"] = round(events_per_s, 3)
         self._append(record)
 
     # -- reading ------------------------------------------------------------
@@ -223,6 +238,9 @@ class RunManifest:
                         elapsed_s=record.get("elapsed_s"),
                         artifact=record.get("artifact"),
                         error=record.get("error"),
+                        wall_s=record.get("wall_s"),
+                        cpu_s=record.get("cpu_s"),
+                        events_per_s=record.get("events_per_s"),
                     )
                 else:
                     state.skipped_lines += 1

@@ -1,0 +1,297 @@
+"""Fleet status: watch a supervised run from its manifest + heartbeats.
+
+``repro status <run-dir>`` answers the question PR 6 left open: *how far
+along is this sweep, which units are slow, and is anything stuck?*  All
+state is reconstructed from what the run farm already journals — no new
+wire protocol:
+
+* the manifest replay gives exact per-unit state (the ``counts`` in
+  ``--json`` output match :meth:`RunManifest.load(...).counts()`
+  verbatim) plus each unit's full attempt history;
+* heartbeat files name the units in flight right now and how fresh
+  their workers' beats are;
+* completed units' journaled ``wall_s`` feed an EWMA per-unit runtime,
+  which with the header's ``jobs`` yields the ETA.
+
+``--watch`` refreshes until the run has no incomplete units;
+``--json`` emits one machine-readable document instead of text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import manifest as mf
+from .health import HealthMonitor, WorkerBeat
+from .manifest import MANIFEST_NAME, ManifestState, RunManifest, iter_records
+
+# EWMA smoothing for completed-unit wall time (same constant family as
+# the executor's bypass estimator: recent units dominate).
+_EWMA_ALPHA = 0.3
+# How many slowest completed units the text view lists.
+TOP_SLOWEST = 5
+
+
+@dataclass
+class UnitHistory:
+    """One unit's attempt trail, replayed from the journal."""
+
+    key: str
+    unit: str
+    # (attempt, status) transitions in journal order.
+    attempts: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def retried(self) -> bool:
+        return any(attempt > 1 for attempt, _status in self.attempts)
+
+
+@dataclass
+class FleetStatus:
+    """Everything one status snapshot knows about a run."""
+
+    run_dir: str
+    state: ManifestState
+    histories: Dict[str, UnitHistory]
+    beats: Dict[str, WorkerBeat]
+    ewma_unit_s: Optional[float]
+    now_unix: float
+
+    @property
+    def total(self) -> int:
+        return len(self.state.units)
+
+    @property
+    def complete(self) -> int:
+        return len(self.state.done_keys())
+
+    @property
+    def incomplete(self) -> int:
+        return len(self.state.incomplete())
+
+    def counts(self) -> Dict[str, int]:
+        """Per-status unit counts — verbatim from the manifest replay."""
+        return self.state.counts()
+
+    def running_units(self) -> List[mf.UnitRecord]:
+        return sorted(
+            (r for r in self.state.units.values()
+             if r.status == mf.RUNNING),
+            key=lambda r: r.unit)
+
+    def retried_units(self) -> List[UnitHistory]:
+        # Quarantined units have their own section; "retried" highlights
+        # the ones that needed extra attempts but are still in play.
+        quarantined = {k for k, r in self.state.units.items()
+                       if r.status == mf.QUARANTINED}
+        return sorted((h for h in self.histories.values()
+                       if h.retried and h.key not in quarantined),
+                      key=lambda h: h.unit)
+
+    def slowest(self, top_n: int = TOP_SLOWEST) -> List[mf.UnitRecord]:
+        done = [r for r in self.state.units.values()
+                if r.status == mf.DONE and r.wall_s is not None]
+        return sorted(done, key=lambda r: (-r.wall_s, r.unit))[:top_n]
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining work / worker parallelism, from the wall-time EWMA."""
+        if self.ewma_unit_s is None or self.incomplete == 0:
+            return None
+        jobs = max(1, int(self.state.header.get("jobs", 1) or 1))
+        return self.incomplete * self.ewma_unit_s / jobs
+
+
+def collect(run_dir: str, now: Optional[float] = None) -> FleetStatus:
+    """One status snapshot of ``run_dir`` (a directory or manifest path)."""
+    manifest_path = run_dir
+    if os.path.isdir(manifest_path):
+        manifest_path = os.path.join(manifest_path, MANIFEST_NAME)
+    state = RunManifest.load(manifest_path)
+
+    histories: Dict[str, UnitHistory] = {}
+    ewma: Optional[float] = None
+    for record in iter_records(manifest_path):
+        if record.get("type") != "unit" or "key" not in record:
+            continue
+        key = record["key"]
+        history = histories.get(key)
+        if history is None:
+            history = histories[key] = UnitHistory(
+                key=key, unit=record.get("unit", ""))
+        history.attempts.append(
+            (int(record.get("attempt", 0)), record.get("status", "")))
+        if record.get("status") == mf.DONE:
+            sample = record.get("wall_s", record.get("elapsed_s"))
+            if sample is not None:
+                sample = float(sample)
+                ewma = (sample if ewma is None
+                        else _EWMA_ALPHA * sample + (1 - _EWMA_ALPHA) * ewma)
+
+    beats: Dict[str, WorkerBeat] = {}
+    heartbeat_dir = os.path.join(state.run_dir, "heartbeats")
+    if os.path.isdir(heartbeat_dir):
+        beats = HealthMonitor(heartbeat_dir).scan(now=now)
+
+    return FleetStatus(
+        run_dir=state.run_dir,
+        state=state,
+        histories=histories,
+        beats=beats,
+        ewma_unit_s=ewma,
+        now_unix=now if now is not None else time.time(),
+    )
+
+
+def to_json(status: FleetStatus) -> Dict[str, Any]:
+    """The machine-readable status document (``repro status --json``)."""
+    eta = status.eta_s()
+    return {
+        "run_dir": status.run_dir,
+        "verb": status.state.header.get("verb"),
+        "generation": status.state.generations,
+        "counts": status.counts(),
+        "total": status.total,
+        "complete": status.complete,
+        "incomplete": status.incomplete,
+        "quarantined": sorted(r.unit for r in status.state.quarantined()),
+        "retried": [
+            {"unit": h.unit, "attempts": [
+                {"attempt": attempt, "status": st}
+                for attempt, st in h.attempts]}
+            for h in status.retried_units()
+        ],
+        "running": [
+            {
+                "unit": record.unit,
+                "attempt": record.attempt,
+                "heartbeat_age_s": (
+                    round(status.beats[record.unit].age_s, 3)
+                    if record.unit in status.beats else None),
+                "heartbeat_stale": (
+                    status.beats[record.unit].stale
+                    if record.unit in status.beats else None),
+            }
+            for record in status.running_units()
+        ],
+        "slowest": [
+            {
+                "unit": record.unit,
+                "wall_s": record.wall_s,
+                "cpu_s": record.cpu_s,
+                "events_per_s": record.events_per_s,
+            }
+            for record in status.slowest()
+        ],
+        "ewma_unit_s": (round(status.ewma_unit_s, 6)
+                        if status.ewma_unit_s is not None else None),
+        "eta_s": round(eta, 3) if eta is not None else None,
+        "skipped_lines": status.state.skipped_lines,
+    }
+
+
+def _progress_bar(done: int, total: int, width: int = 30) -> str:
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(round(width * done / total))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "n/a"
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 90:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def render(status: FleetStatus) -> str:
+    """The human-readable status view."""
+    header = status.state.header
+    lines: List[str] = []
+    verb = header.get("verb", "?")
+    tier = header.get("tier", "?")
+    lines.append(
+        f"run {status.run_dir} — verb '{verb}' ({tier} tier, "
+        f"generation {status.state.generations}, "
+        f"jobs {header.get('jobs', '?')})")
+    lines.append(
+        f"{_progress_bar(status.complete, status.total)} "
+        f"{status.complete}/{status.total} units complete, "
+        f"ETA {_fmt_eta(status.eta_s())}")
+    counts = status.counts()
+    lines.append("  " + ", ".join(
+        f"{name} {counts[name]}" for name in sorted(counts)))
+    running = status.running_units()
+    if running:
+        lines.append("running:")
+        for record in running:
+            beat = status.beats.get(record.unit)
+            if beat is None:
+                hb = "no heartbeat"
+            elif beat.stale:
+                hb = f"heartbeat STALE ({beat.age_s:.1f}s)"
+            else:
+                hb = f"heartbeat {beat.age_s:.1f}s ago"
+            lines.append(f"  {record.unit} (attempt {record.attempt}, {hb})")
+    retried = status.retried_units()
+    if retried:
+        lines.append("retried:")
+        for history in retried:
+            trail = " -> ".join(f"{st}#{attempt}"
+                                for attempt, st in history.attempts)
+            lines.append(f"  {history.unit}: {trail}")
+    quarantined = status.state.quarantined()
+    if quarantined:
+        lines.append("quarantined:")
+        for record in sorted(quarantined, key=lambda r: r.unit):
+            lines.append(f"  {record.unit}: {record.error or 'unknown'}")
+    slowest = status.slowest()
+    if slowest:
+        lines.append("slowest completed units:")
+        for record in slowest:
+            cpu = f"{record.cpu_s:.2f}" if record.cpu_s is not None else "?"
+            eps = (f"{record.events_per_s:,.0f}"
+                   if record.events_per_s is not None else "?")
+            lines.append(
+                f"  {record.unit}: wall {record.wall_s:.2f}s, cpu {cpu}s, "
+                f"{eps} events/s")
+    if status.state.skipped_lines:
+        lines.append(f"({status.state.skipped_lines} torn manifest "
+                     f"line(s) skipped)")
+    return "\n".join(lines)
+
+
+def run_cli(args) -> int:
+    """The ``repro status`` verb (wired from :mod:`repro.cli`)."""
+    target = args.run_dir
+    manifest_path = target
+    if os.path.isdir(manifest_path):
+        manifest_path = os.path.join(manifest_path, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        print(f"repro status: no manifest at {target}", file=sys.stderr)
+        return 2
+    watch = bool(getattr(args, "watch", False))
+    interval = float(getattr(args, "interval", 2.0))
+    as_json = bool(getattr(args, "status_json", False))
+    while True:
+        status = collect(target)
+        if as_json:
+            print(json.dumps(to_json(status), indent=2, sort_keys=True))
+        else:
+            if watch:
+                # Clear the screen between refreshes; plain print keeps
+                # non-watch output pipe-friendly.
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(render(status))
+        if not watch or status.incomplete == 0:
+            return 0
+        time.sleep(max(0.1, interval))

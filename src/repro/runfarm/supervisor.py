@@ -44,6 +44,7 @@ from ..core import instrument, trace
 from ..core.executor import (
     ParallelExecutor,
     UnitFailure,
+    UnitProfile,
     WorkUnit,
     unit_content_key,
 )
@@ -121,6 +122,10 @@ class RunSupervisor:
     units_resumed: int = 0
     units_retried: int = 0
     units_quarantined: int = 0
+    # Per-unit wall/CPU/events profiles accumulated across batches
+    # (journaled to the manifest and surfaced by the report's
+    # slowest-units section and `repro status`).
+    profiles: List[UnitProfile] = field(default_factory=list)
 
     def run_batch(
         self,
@@ -184,9 +189,16 @@ class RunSupervisor:
                     digest = None
                     if keys[index] is not None:
                         digest = store.put(keys[index], outcome)
+                    profile = executor.last_profiles.get(units[index].name)
+                    if profile is not None:
+                        self.profiles.append(profile)
                     self.manifest.record_unit(
                         manifest_keys[index], units[index].name, mf.DONE,
-                        attempt=attempt, artifact=digest)
+                        attempt=attempt, artifact=digest,
+                        wall_s=profile.wall_s if profile else None,
+                        cpu_s=profile.cpu_s if profile else None,
+                        events_per_s=(profile.events_per_s
+                                      if profile else None))
                     results[index] = outcome
                     self.units_completed += 1
                     continue
@@ -298,6 +310,12 @@ class SupervisedExecutor(ParallelExecutor):
         keys = [unit_content_key(unit) for unit in units]
         return self.supervisor.run_batch(self, units, keys,
                                          self._resolve_store(None))
+
+    @property
+    def unit_profiles(self) -> List[UnitProfile]:
+        """Every completed unit's wall/CPU/events profile, in completion
+        order (the report's slowest-units section reads this)."""
+        return self.supervisor.profiles
 
     def summary(self) -> str:
         sup = self.supervisor

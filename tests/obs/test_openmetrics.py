@@ -1,0 +1,170 @@
+"""OpenMetrics exposition: render/parse round trip, strict-parser
+rejections, JSONL export, and the localhost /metrics server."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    MetricsServer,
+    export_jsonl,
+    metric_name,
+    parse_openmetrics,
+    render,
+    write_metrics_files,
+)
+
+
+def _populated_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.counter("runfarm.retries", help="requeued unit attempts").inc(3)
+    reg.gauge("slo.fig4.udp64_throughput_ratio").set(0.18)
+    hist = reg.histogram("unit.wall_seconds", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.7, 2.0, 50.0):
+        hist.observe(value)
+    return reg
+
+
+class TestMetricNames:
+    def test_dotted_names_sanitize_into_namespace(self):
+        assert metric_name("runfarm.timeout") == "repro_runfarm_timeout"
+        assert metric_name("a-b c") == "repro_a_b_c"
+
+    def test_already_namespaced_names_pass_through(self):
+        assert metric_name("repro_x") == "repro_x"
+
+
+class TestRenderParseRoundTrip:
+    def test_round_trip(self):
+        text = render(_populated_registry())
+        assert text.endswith("# EOF\n")
+        families = parse_openmetrics(text)
+        assert set(families) == {
+            "repro_runfarm_retries",
+            "repro_slo_fig4_udp64_throughput_ratio",
+            "repro_unit_wall_seconds",
+        }
+        counter = families["repro_runfarm_retries"]
+        assert counter["type"] == "counter"
+        assert counter["samples"][0][2] == 3.0
+        hist = families["repro_unit_wall_seconds"]
+        buckets = {labels["le"]: value for name, labels, value
+                   in hist["samples"] if name.endswith("_bucket")}
+        assert buckets == {"0.1": 1.0, "1": 3.0, "10": 4.0, "+Inf": 5.0}
+
+    def test_empty_registry_is_just_eof(self):
+        assert render(MetricRegistry()) == "# EOF\n"
+        assert parse_openmetrics("# EOF\n") == {}
+
+
+class TestStrictParser:
+    def test_rejects_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("# TYPE repro_x counter\nrepro_x_total 1\n")
+
+    def test_rejects_sample_before_type(self):
+        with pytest.raises(ValueError, match="no preceding"):
+            parse_openmetrics("repro_x_total 1\n# EOF\n")
+
+    def test_rejects_counter_without_total_suffix(self):
+        with pytest.raises(ValueError, match="_total"):
+            parse_openmetrics("# TYPE repro_x counter\nrepro_x 1\n# EOF\n")
+
+    def test_rejects_gauge_with_suffix(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            parse_openmetrics("# TYPE repro_x gauge\nrepro_x_total 1\n# EOF\n")
+
+    def test_rejects_non_monotone_bucket_counts(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="monotone"):
+            parse_openmetrics(text)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 2\n'
+            'repro_h_bucket{le="+Inf"} 4\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_openmetrics(text)
+
+    def test_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 2\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 2\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_openmetrics(text)
+
+
+class TestJsonlExport:
+    def test_one_line_per_metric_with_quantiles(self):
+        stream = io.StringIO()
+        count = export_jsonl(stream, _populated_registry())
+        lines = [json.loads(line) for line in
+                 stream.getvalue().strip().split("\n")]
+        assert count == len(lines) == 3
+        by_name = {doc["name"]: doc for doc in lines}
+        assert by_name["runfarm.retries"]["value"] == 3
+        hist = by_name["unit.wall_seconds"]
+        assert hist["count"] == 5
+        assert hist["p99"] == 50.0
+        assert hist["buckets"] == [[0.1, 1], [1.0, 3], [10.0, 4]]
+
+    def test_write_metrics_files(self, tmp_path):
+        prom, jsonl, count = write_metrics_files(
+            str(tmp_path / "metrics"), _populated_registry())
+        assert count == 3
+        parse_openmetrics(open(prom).read())  # strict-valid
+        assert len(open(jsonl).read().strip().split("\n")) == 3
+
+
+class TestMetricsServer:
+    def test_serves_current_registry_state(self):
+        reg = MetricRegistry()
+        reg.counter("scrapes.seen").inc()
+        server = MetricsServer(port=0, registry=reg).start()
+        try:
+            assert server.port > 0
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                first = response.read().decode("utf-8")
+            assert "repro_scrapes_seen_total 1" in first
+            reg.counter("scrapes.seen").inc()  # handler renders live
+            with urllib.request.urlopen(url, timeout=5) as response:
+                second = response.read().decode("utf-8")
+            assert "repro_scrapes_seen_total 2" in second
+            parse_openmetrics(second)
+        finally:
+            server.close()
+
+    def test_unknown_path_is_404(self):
+        server = MetricsServer(port=0, registry=MetricRegistry()).start()
+        try:
+            url = f"http://127.0.0.1:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5)
+            assert excinfo.value.code == 404
+        finally:
+            server.close()

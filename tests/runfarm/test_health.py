@@ -75,6 +75,145 @@ class TestStaleness:
         assert beats["unit-a"].stale
 
 
+class TestStalenessBoundary:
+    """The stale classification flips strictly ABOVE the threshold."""
+
+    def test_exactly_at_threshold_is_not_stale(self):
+        interval = 0.25
+        beat = WorkerBeat(pid=1, unit="u", seq=0,
+                          age_s=health.STALE_INTERVALS * interval,
+                          interval_s=interval, alive=True)
+        assert not beat.stale  # strict >: the boundary itself is healthy
+
+    def test_just_above_threshold_is_stale(self):
+        interval = 0.25
+        beat = WorkerBeat(pid=1, unit="u", seq=0,
+                          age_s=health.STALE_INTERVALS * interval * 1.01,
+                          interval_s=interval, alive=True)
+        assert beat.stale
+
+    def test_threshold_scales_with_interval(self):
+        # A 1.1s-old beat is stale for interval 0.25 (threshold 1.0s)
+        # but healthy for interval 0.5 (threshold 2.0s).
+        fast = WorkerBeat(pid=1, unit="u", seq=0, age_s=1.1,
+                          interval_s=0.25, alive=True)
+        slow = WorkerBeat(pid=1, unit="u", seq=0, age_s=1.1,
+                          interval_s=0.5, alive=True)
+        assert fast.stale and not slow.stale
+
+
+class TestSlowVersusHung:
+    """The executor's classification: stale heartbeat = hung, healthy
+    heartbeat but way past the runtime estimate = slow."""
+
+    def _executor_with_estimate(self, seconds_per_unit):
+        from repro.core.executor import ParallelExecutor
+
+        executor = ParallelExecutor(1)
+        executor._seconds_per_unit = seconds_per_unit
+        return executor
+
+    def _running_state(self, unit_name, started_ago):
+        import types
+
+        from repro.core.executor import _Running, WorkUnit
+
+        return _Running(
+            index=0,
+            unit=WorkUnit(name=unit_name, fn=lambda: None),
+            attempt=1,
+            proc=types.SimpleNamespace(pid=12345),
+            started=time.perf_counter() - started_ago,
+        )
+
+    class _StubMonitor:
+        def __init__(self, beats):
+            self._beats = beats
+
+        def scan(self):
+            return self._beats
+
+    def test_stale_heartbeat_is_hung(self):
+        executor = self._executor_with_estimate(0.1)
+        state = self._running_state("u", started_ago=2.0)
+        beats = {"u": WorkerBeat(pid=12345, unit="u", seq=5, age_s=9.0,
+                                 interval_s=0.25, alive=True)}
+        executor._check_health(self._StubMonitor(beats), {"c": state}, None)
+        assert instrument.value(instrument.RUNFARM_WORKERS_HUNG) == 1
+        assert instrument.value(instrument.RUNFARM_WORKERS_SLOW) == 0
+        assert state.reported_slow  # reported once, not every scan
+
+    def test_healthy_heartbeat_past_estimate_is_slow(self):
+        executor = self._executor_with_estimate(0.1)
+        state = self._running_state("u", started_ago=2.0)
+        beats = {"u": WorkerBeat(pid=12345, unit="u", seq=5, age_s=0.1,
+                                 interval_s=0.25, alive=True)}
+        executor._check_health(self._StubMonitor(beats), {"c": state}, None)
+        assert instrument.value(instrument.RUNFARM_WORKERS_SLOW) == 1
+        assert instrument.value(instrument.RUNFARM_WORKERS_HUNG) == 0
+
+    def test_on_schedule_unit_is_neither(self):
+        executor = self._executor_with_estimate(10.0)
+        state = self._running_state("u", started_ago=0.5)
+        beats = {"u": WorkerBeat(pid=12345, unit="u", seq=5, age_s=0.1,
+                                 interval_s=0.25, alive=True)}
+        executor._check_health(self._StubMonitor(beats), {"c": state}, None)
+        assert instrument.value(instrument.RUNFARM_WORKERS_SLOW) == 0
+        assert instrument.value(instrument.RUNFARM_WORKERS_HUNG) == 0
+
+    def test_reported_only_once_per_unit(self):
+        executor = self._executor_with_estimate(0.1)
+        state = self._running_state("u", started_ago=2.0)
+        beats = {"u": WorkerBeat(pid=12345, unit="u", seq=5, age_s=0.1,
+                                 interval_s=0.25, alive=True)}
+        monitor = self._StubMonitor(beats)
+        executor._check_health(monitor, {"c": state}, None)
+        executor._check_health(monitor, {"c": state}, None)
+        assert instrument.value(instrument.RUNFARM_WORKERS_SLOW) == 1
+
+
+class TestPidReuse:
+    """A recycled pid must read as a corpse, not a healthy worker."""
+
+    def test_beat_records_process_start_id(self, tmp_path):
+        write_beat(str(tmp_path), "unit-a", seq=0)
+        payload = json.loads((tmp_path / f"{os.getpid()}.json").read_text())
+        assert payload["proc_start"] == health._proc_start_id(os.getpid())
+        assert payload["proc_start"] is not None  # Linux CI has /proc
+
+    def test_mismatched_start_id_is_swept_as_corpse(self, tmp_path):
+        # Forge a beat whose pid is alive (ours) but whose recorded
+        # incarnation is a different process: exactly what pid reuse
+        # looks like after the original worker died.
+        write_beat(str(tmp_path), "unit-a", seq=0)
+        path = tmp_path / f"{os.getpid()}.json"
+        payload = json.loads(path.read_text())
+        payload["proc_start"] = "999999999"  # not our starttime
+        path.write_text(json.dumps(payload))
+        monitor = HealthMonitor(str(tmp_path))
+        beats = monitor.scan()
+        assert not beats["unit-a"].alive
+        assert monitor.scan() == {}  # the corpse file was unlinked
+
+    def test_matching_start_id_stays_alive(self, tmp_path):
+        write_beat(str(tmp_path), "unit-a", seq=0)
+        beats = HealthMonitor(str(tmp_path)).scan()
+        assert beats["unit-a"].alive
+
+    def test_missing_proc_start_falls_back_to_pid_liveness(self, tmp_path):
+        # Old-format beats (no proc_start) keep the pre-fix behavior.
+        write_beat(str(tmp_path), "unit-a", seq=0)
+        path = tmp_path / f"{os.getpid()}.json"
+        payload = json.loads(path.read_text())
+        del payload["proc_start"]
+        path.write_text(json.dumps(payload))
+        beats = HealthMonitor(str(tmp_path)).scan()
+        assert beats["unit-a"].alive
+
+    def test_proc_start_id_none_for_dead_pid(self):
+        assert health._proc_start_id(2**31 - 1) is None
+
+
 class TestDeadWorkerSweep:
     def test_dead_pid_file_is_swept(self, tmp_path):
         # A pid that cannot exist: max pid is bounded well below 2**31.
