@@ -8,7 +8,7 @@ from conftest import N_REQUESTS, SAMPLES, mean_seconds, record_bench, run_once
 
 from repro.core import instrument
 from repro.core.cache import ResultCache, configure
-from repro.core.executor import ParallelExecutor
+from repro.core.executor import ParallelExecutor, usable_cpu_count
 from repro.core.rng import RandomStreams
 from repro.experiments import format_fig4, run_fig4
 
@@ -91,7 +91,9 @@ def test_fig4_parallel_speedup(benchmark):
         bypasses = parallel_executor.bypasses
 
     speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
-    cores = os.cpu_count() or 1
+    # The affinity-aware count: a pinned CI runner must not record the
+    # machine's cores and then fail the scaling gate it can't reach.
+    cores = usable_cpu_count()
     record_bench("fig4", "parallel_speedup", jobs=4, cores=cores,
                  rounds=ROUNDS, serial_seconds=serial_seconds,
                  parallel_seconds=parallel_seconds, speedup=speedup,

@@ -1,0 +1,101 @@
+"""Benchmark: end-to-end `report` wall-clock per probe engine.
+
+Times the CLI as a cold subprocess — interpreter start, profile
+construction, every experiment, rendering — because that is the
+wall-clock a user sees.  Two tests:
+
+* ``test_report_smoke_wall`` (the CI gate): `report --smoke` under both
+  engines.  Gates are deliberately loose — the committed baseline was
+  captured on a 1-CPU container and CI runners are at least as fast, so
+  a 3x allowance catches real regressions (a lost fast path is 5-10x)
+  without tripping on noisy neighbors.
+* ``test_report_full_wall``: default fidelity, recorded so perf bisects
+  can track the hybrid speedup against the committed pre-hybrid
+  baseline (``main_full_report_seconds``); only the engine-vs-engine
+  ordering is asserted, since cross-machine absolute walls at full
+  fidelity are too noisy to gate on.
+
+Results land in ``BENCH_report.json`` next to the other artifacts.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from conftest import record_bench, run_once
+
+from repro.core.executor import usable_cpu_count
+
+BASELINE = json.loads(
+    (Path(__file__).parent / "baseline_report.json").read_text()
+)
+
+
+def _wall(*args: str) -> float:
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True,
+    )
+    seconds = time.perf_counter() - start
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "report produced no output"
+    return seconds
+
+
+def test_report_smoke_wall(benchmark):
+    ROUNDS = 2
+
+    def measure():
+        sim = min(_wall("--engine", "sim", "report", "--smoke")
+                  for _ in range(ROUNDS))
+        hybrid = min(_wall("report", "--smoke") for _ in range(ROUNDS))
+        return {"sim": sim, "hybrid": hybrid}
+
+    walls = run_once(benchmark, measure)
+    sim_seconds, hybrid_seconds = walls["sim"], walls["hybrid"]
+    speedup = sim_seconds / hybrid_seconds if hybrid_seconds else 0.0
+    record_bench(
+        "report", "smoke_wall",
+        rounds=ROUNDS, cores=usable_cpu_count(),
+        sim_seconds=sim_seconds, hybrid_seconds=hybrid_seconds,
+        hybrid_speedup=speedup,
+        baseline_hybrid_seconds=BASELINE["smoke"]["hybrid_seconds"],
+    )
+    # The hybrid engine must never cost wall-clock over pure simulation
+    # (absolute slack covers interpreter-start jitter on tiny walls).
+    assert hybrid_seconds <= sim_seconds * 1.15 + 0.5, (
+        f"hybrid smoke report slower than sim: "
+        f"{hybrid_seconds:.2f}s vs {sim_seconds:.2f}s")
+    # No regression vs the committed seed baseline.
+    floor = 3.0 * BASELINE["smoke"]["hybrid_seconds"]
+    assert hybrid_seconds <= floor, (
+        f"smoke report regressed: {hybrid_seconds:.2f}s vs committed "
+        f"baseline {BASELINE['smoke']['hybrid_seconds']:.2f}s "
+        f"(allowance {floor:.2f}s)")
+
+
+def test_report_full_wall(benchmark):
+    def measure():
+        sim = _wall("--engine", "sim", "report")
+        hybrid = _wall("report")
+        return {"sim": sim, "hybrid": hybrid}
+
+    walls = run_once(benchmark, measure)
+    sim_seconds, hybrid_seconds = walls["sim"], walls["hybrid"]
+    baseline_main = BASELINE["main_full_report_seconds"]
+    record_bench(
+        "report", "full_wall",
+        cores=usable_cpu_count(),
+        sim_seconds=sim_seconds, hybrid_seconds=hybrid_seconds,
+        hybrid_speedup=(sim_seconds / hybrid_seconds
+                        if hybrid_seconds else 0.0),
+        baseline_main_seconds=baseline_main,
+        speedup_vs_baseline=(baseline_main / hybrid_seconds
+                             if hybrid_seconds else 0.0),
+    )
+    assert hybrid_seconds <= sim_seconds * 1.2, (
+        f"hybrid full report slower than sim: "
+        f"{hybrid_seconds:.2f}s vs {sim_seconds:.2f}s")

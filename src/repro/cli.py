@@ -62,7 +62,7 @@ import time
 from typing import List, Optional
 
 from .analysis.report import generate_report
-from .core import instrument, trace
+from .core import hybrid, instrument, trace
 from .core.cache import CODE_VERSION, ResultCache, configure
 from .core.executor import ParallelExecutor
 from .core.rng import RandomStreams
@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--requests", type=int, default=12_000,
                         help="requests simulated per rate probe")
     parser.add_argument("--seed", type=int, default=2023, help="root RNG seed")
+    parser.add_argument("--engine", choices=hybrid.ENGINES,
+                        default=hybrid.DEFAULT_ENGINE,
+                        help="probe engine: 'hybrid' answers validated "
+                             "off-knee rungs analytically (default); 'sim' "
+                             "simulates every probe (byte-identical to the "
+                             "pre-hybrid output)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent measurements "
                              "(0 = all cores; output is identical at any N)")
@@ -164,6 +170,8 @@ def build_parser() -> argparse.ArgumentParser:
         # SUPPRESS defaults keep the subparser from clobbering
         # main-parser values.
         p.add_argument("--smoke", action="store_true",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--engine", choices=hybrid.ENGINES,
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
         p.add_argument("--csv", metavar="FILE",
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
@@ -293,11 +301,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if name is None and args.json:
         parser.error(f"--json is not supported by '{args.command}'")
-    if name is None and args.smoke:
-        parser.error(
-            f"--smoke is not supported by '{args.command}' "
-            "(the report compares against the paper at full fidelity)"
-        )
     if args.metrics_interval <= 0:
         parser.error("--metrics-interval must be positive")
     if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
@@ -324,6 +327,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # every phase of a multi-phase verb reuses the same workers
         # instead of re-paying pool startup per batch.
         executor = ParallelExecutor(args.jobs)
+    # After runfarm setup: a resumed manifest may have adopted the
+    # original run's engine so the resumed output stays byte-identical.
+    hybrid.configure_engine(args.engine)
     configure(ResultCache(cache_dir=args.cache_dir))
     streams = RandomStreams(args.seed)
     tracing = args.trace or args.trace_dir is not None or args.command == "trace"
@@ -409,6 +415,8 @@ def _setup_runfarm(args, parser) -> ParallelExecutor:
         args.requests = int(header.get("requests", args.requests))
         if header.get("tier"):
             args.smoke = header["tier"] == SMOKE_TIER
+        if header.get("engine"):
+            args.engine = header["engine"]
         run_dir = state.run_dir
         print(f"resuming {manifest_path}: {state.summary()}",
               file=sys.stderr)
@@ -440,6 +448,7 @@ def _setup_runfarm(args, parser) -> ParallelExecutor:
         verb=args.command, seed=args.seed, samples=args.samples,
         requests=args.requests,
         tier=SMOKE_TIER if args.smoke else DEFAULT_TIER,
+        engine=args.engine,
         jobs=args.jobs, code_version=CODE_VERSION,
         argv=list(sys.argv[1:]),
     )
@@ -450,8 +459,9 @@ def _print_footer(started: float,
                   executor: Optional[ParallelExecutor] = None) -> None:
     parts = [
         f"{time.time() - started:.1f}s",
-        f"probes {instrument.value(instrument.PROBES)}"
-        f" ({instrument.value(instrument.PROBES_SAVED)} saved)",
+        f"probes: {instrument.value(instrument.PROBES_SIMULATED)} simulated, "
+        f"{instrument.value(instrument.ANALYTIC_HITS)} analytic, "
+        f"{instrument.value(instrument.PROBES_SAVED)} saved",
         f"cache {instrument.value(instrument.CACHE_HITS)} hit / "
         f"{instrument.value(instrument.CACHE_MISSES)} miss",
         f"kernel {instrument.value(instrument.EVENTS_SCHEDULED)} sched / "
@@ -463,7 +473,8 @@ def _print_footer(started: float,
     # subsystems surface in the footer without bespoke formatting.
     from .obs import metrics as obs_metrics
 
-    shown = {instrument.PROBES, instrument.PROBES_SAVED,
+    shown = {instrument.PROBES, instrument.PROBES_SIMULATED,
+             instrument.ANALYTIC_HITS, instrument.PROBES_SAVED,
              instrument.CACHE_HITS, instrument.CACHE_MISSES,
              instrument.EVENTS_SCHEDULED, instrument.EVENTS_FIRED}
     registry_counters = obs_metrics.registry().counter_values()
@@ -517,6 +528,7 @@ def _dispatch(args, streams, executor) -> int:
         tier=SMOKE_TIER if args.smoke else DEFAULT_TIER,
         samples=args.samples,
         requests=args.requests,
+        engine=args.engine,
     )
     if args.command == "report":
         text = generate_report(samples=args.samples, n_requests=args.requests,

@@ -39,7 +39,11 @@ logger = logging.getLogger("repro.cache")
 # 2026.08.3: cache entries double as the run-farm's manifest-referenced
 #   artifact store (sha256 digests recorded per entry; corrupt disk
 #   entries quarantined to *.corrupt instead of silently ignored).
-CODE_VERSION = "2026.08.3"
+# 2026.08.4: hybrid probe engine (batched ladders share per-rung draws;
+#   analytic answers inside validated trust regions) and an identity-
+#   validated service-time memo — results priced under the old memo
+#   could reflect a stale calibration swap and must not be reused.
+CODE_VERSION = "2026.08.4"
 
 _PRIMITIVES = (str, int, float, bool, bytes, type(None))
 
@@ -103,11 +107,18 @@ class ResultCache:
 
     # -- lookup / store -----------------------------------------------------
 
-    def get(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(found, value)``; counts the lookup in stats."""
+    def get(self, key: str, count: bool = True) -> Tuple[bool, Any]:
+        """Return ``(found, value)``; counts the lookup in stats.
+
+        ``count=False`` exempts the lookup from the hit/miss counters —
+        used for internal bookkeeping reads (hybrid trust records) so
+        the CLI footer and the cache-contract tests keep counting only
+        *artifact* traffic.
+        """
         if key in self._memory:
-            self.stats.hits += 1
-            instrument.increment(instrument.CACHE_HITS)
+            if count:
+                self.stats.hits += 1
+                instrument.increment(instrument.CACHE_HITS)
             if trace.TRACING:
                 trace.instant("cache.get", trace.CACHE, key=key[:12], hit=True)
             return True, self._memory[key]
@@ -124,15 +135,17 @@ class ResultCache:
                 else:
                     self._memory[key] = value
                     self._digests[key] = hashlib.sha256(data).hexdigest()
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                    instrument.increment(instrument.CACHE_HITS)
+                    if count:
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                        instrument.increment(instrument.CACHE_HITS)
                     if trace.TRACING:
                         trace.instant("cache.get", trace.CACHE,
                                       key=key[:12], hit=True, disk=True)
                     return True, value
-        self.stats.misses += 1
-        instrument.increment(instrument.CACHE_MISSES)
+        if count:
+            self.stats.misses += 1
+            instrument.increment(instrument.CACHE_MISSES)
         if trace.TRACING:
             trace.instant("cache.get", trace.CACHE, key=key[:12], hit=False)
         return False, None

@@ -269,12 +269,39 @@ class UnitProfile:
         return self.sim_events / self.wall_s
 
 
+def usable_cpu_count() -> int:
+    """CPUs this *process* may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    container quota or a taskset/cgroup affinity mask it overstates the
+    usable parallelism (a "16-core" CI runner pinned to one CPU would
+    record ``cores: 16`` in benchmark artifacts and then gate on scaling
+    it cannot have).  Prefer ``os.process_cpu_count`` (3.13+), fall back
+    to the scheduling affinity mask where the platform has one, then to
+    ``os.cpu_count()``.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        count = process_cpu_count()
+        if count:
+            return count
+    sched_getaffinity = getattr(os, "sched_getaffinity", None)
+    if sched_getaffinity is not None:
+        try:
+            affinity = sched_getaffinity(0)
+        except OSError:
+            affinity = None
+        if affinity:
+            return len(affinity)
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``--jobs`` value: None/1 serial, 0 = all cores."""
+    """Normalize a ``--jobs`` value: None/1 serial, 0 = all usable cores."""
     if jobs is None:
         return 1
     if jobs == 0:
-        return os.cpu_count() or 1
+        return usable_cpu_count()
     return max(1, int(jobs))
 
 
@@ -355,7 +382,7 @@ class ParallelExecutor:
         return self._pool
 
     def _effective_workers(self) -> int:
-        return min(self.jobs, os.cpu_count() or 1)
+        return min(self.jobs, usable_cpu_count())
 
     # -- execution ----------------------------------------------------------
 

@@ -26,6 +26,16 @@ PROBES = "probes"
 # search (an estimate: the cold control flow replayed against the found
 # rate) — see core.sweep.find_max_sustainable_rate(warm_start=...).
 PROBES_SAVED = "probe.saved"
+# Hybrid engine accounting (DESIGN.md "Hybrid probe engine"): every
+# probe evaluation increments PROBES; PROBES_SIMULATED counts the ones
+# actually run through a queueing kernel, ANALYTIC_HITS the ones served
+# by the validated analytic fast path (so PROBES == simulated +
+# analytic), and SAMPLES_REUSED the simulated probes that reused a
+# sibling rung's sampled service/interarrival/RTT arrays instead of
+# drawing fresh ones.
+PROBES_SIMULATED = "probe.simulated"
+ANALYTIC_HITS = "analytic.hits"
+SAMPLES_REUSED = "probe.samples_reused"
 CACHE_HITS = "cache_hits"
 CACHE_MISSES = "cache_misses"
 # Disk-cache entries that failed to unpickle and were quarantined to a

@@ -152,17 +152,23 @@ def bounded_waits_reference(
     n = len(arrivals)
     kept = np.zeros(n, dtype=bool)
     waits = []
-    backlog = initial_backlog
-    previous = previous_arrival
+    backlog = float(initial_backlog)
+    previous = float(previous_arrival)
+    # Plain-float lists: scalar indexing into ndarrays boxes a np.float64
+    # per access, which dominates this loop.  Python floats are the same
+    # IEEE doubles, so the arithmetic (and the results) are bit-identical.
+    arrival_list = arrivals.tolist() if isinstance(arrivals, np.ndarray) else list(arrivals)
+    service_list = services.tolist() if isinstance(services, np.ndarray) else list(services)
+    append = waits.append
     for i in range(n):
-        arrival = arrivals[i]
+        arrival = arrival_list[i]
         backlog = max(0.0, backlog - (arrival - previous))
         previous = arrival
         if backlog > queue_limit:
             continue
         kept[i] = True
-        waits.append(backlog)
-        backlog += services[i]
+        append(backlog)
+        backlog += service_list[i]
     return kept, np.asarray(waits), backlog, previous
 
 
@@ -411,6 +417,126 @@ def simulate_sharded(
     )
 
 
+def lindley_waits_stacked(gaps: np.ndarray, services: np.ndarray) -> np.ndarray:
+    """Closed-form Lindley waits for a stack of ladders sharing services.
+
+    ``gaps`` is ``(L, n)`` — one row of interarrival gaps per rate rung —
+    and ``services`` is the shared ``(n,)`` service array.  Row ``r`` of
+    the result equals ``lindley_waits(gaps[r], services)``: the cumsum /
+    running-minimum closed form applies along axis 1 unchanged, so a
+    whole rate ladder costs one vectorized pass instead of L dispatches.
+    """
+    gaps = np.asarray(gaps, dtype=float)
+    services = np.asarray(services, dtype=float)
+    if gaps.ndim != 2 or gaps.shape[1] != services.shape[0]:
+        raise ValueError("gaps must be (L, n) with services of length n")
+    ladder, n = gaps.shape
+    if n == 0:
+        return np.empty((ladder, 0))
+    increments = np.empty((ladder, n))
+    increments[:, 0] = 0.0
+    np.subtract(services[None, :-1], gaps[:, 1:], out=increments[:, 1:])
+    cumulative = np.cumsum(increments, axis=1, out=increments)
+    floor = np.minimum.accumulate(cumulative, axis=1)
+    return cumulative - floor
+
+
+def _unit_gaps(
+    n_requests: int, rng: np.random.Generator, arrival_cv: float
+) -> np.ndarray:
+    """Rate-free interarrival gaps (mean 1); divide by a rate to use.
+
+    Exploits the scale family of every supported arrival process —
+    deterministic, exponential, and gamma gaps all scale linearly in the
+    mean gap — so one draw serves every rung of a ladder.
+    """
+    if arrival_cv == 0.0:
+        return np.ones(n_requests)
+    if arrival_cv == 1.0:
+        return rng.exponential(1.0, size=n_requests)
+    shape = 1.0 / (arrival_cv**2)
+    return rng.gamma(shape, 1.0 / shape, size=n_requests)
+
+
+def simulate_gg1_ladder(
+    rates,
+    service_sampler: ServiceSampler,
+    n_requests: int,
+    rng: np.random.Generator,
+    arrival_cv: float = 1.0,
+    queue_limit: Optional[float] = None,
+) -> list:
+    """Simulate a whole rate ladder against one shared set of draws.
+
+    One unit-mean gap array and one service array are sampled once and
+    shared by every rung (``rates[r]`` scales the gaps); the no-drop
+    waits of all rungs are computed in a single stacked Lindley pass and
+    only rungs whose optimistic waits overflow ``queue_limit`` pay the
+    per-row bounded-buffer fixed point.  Returns one
+    :class:`QueueOutcome` per rate, same semantics as per-rate
+    :func:`simulate_gg1` calls (over different, shared, draws).
+    """
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 1 or len(rates) == 0:
+        raise ValueError("rates must be a non-empty 1-D sequence")
+    if np.any(rates <= 0):
+        raise ValueError("rates must be positive")
+    unit = _unit_gaps(n_requests, rng, arrival_cv)
+    services = np.asarray(service_sampler(rng, n_requests), dtype=float)
+    if services.shape != (n_requests,):
+        raise ValueError("service sampler returned wrong shape")
+    gaps = unit[None, :] / rates[:, None]
+    arrivals = np.cumsum(gaps, axis=1)
+    waits = lindley_waits_stacked(gaps, services)
+    outcomes = []
+    for row in range(len(rates)):
+        if queue_limit is None or (len(waits[row]) and
+                                   waits[row].max() <= queue_limit):
+            outcome = QueueOutcome(
+                sojourns=waits[row] + services,
+                services=services,
+                arrivals=arrivals[row],
+                components={COMP_QUEUE_WAIT: waits[row],
+                            COMP_SERVICE: services},
+            )
+        else:
+            kept_mask, kept_waits = bounded_waits(
+                arrivals[row], services, queue_limit)
+            dropped = int(n_requests - kept_mask.sum())
+            kept = services[kept_mask] if dropped else services
+            kept_arrivals = arrivals[row][kept_mask] if dropped else arrivals[row]
+            outcome = QueueOutcome(
+                sojourns=kept_waits + kept,
+                services=kept,
+                arrivals=kept_arrivals,
+                dropped=dropped,
+                components={COMP_QUEUE_WAIT: kept_waits, COMP_SERVICE: kept},
+            )
+        if trace.TRACING:
+            _emit_queue_series(outcome, dropped_total=outcome.dropped)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def simulate_sharded_ladder(
+    rates,
+    cores: int,
+    service_sampler: ServiceSampler,
+    n_requests: int,
+    rng: np.random.Generator,
+    arrival_cv: float = 1.0,
+    queue_limit: Optional[float] = None,
+) -> list:
+    """Ladder variant of :func:`simulate_sharded`: one shard per rung,
+    every rung sharing the same sampled draws."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    shard_rates = np.asarray(rates, dtype=float) / cores
+    return simulate_gg1_ladder(
+        shard_rates, service_sampler, n_requests, rng, arrival_cv, queue_limit
+    )
+
+
 def simulate_batch_server(
     rate: float,
     n_requests: int,
@@ -432,7 +558,52 @@ def simulate_batch_server(
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     arrivals = np.cumsum(_batch_gaps(rate, n_requests, rng, arrival_cv))
+    return _batch_outcome_from_arrivals(
+        arrivals, batch_size, batch_timeout, setup_time, per_item_time
+    )
 
+
+def simulate_batch_server_ladder(
+    rates,
+    n_requests: int,
+    rng: np.random.Generator,
+    batch_size: int,
+    batch_timeout: float,
+    setup_time: float,
+    per_item_time: float,
+    arrival_cv: float = 1.0,
+) -> list:
+    """Ladder variant of :func:`simulate_batch_server`.
+
+    One unit-mean gap array is drawn and shared by every rung (the
+    arrival prefix sums scale linearly in the mean gap); the batch
+    chaining itself stays per-rung since dispatch boundaries depend on
+    the absolute arrival times.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 1 or len(rates) == 0:
+        raise ValueError("rates must be a non-empty 1-D sequence")
+    if np.any(rates <= 0):
+        raise ValueError("rates must be positive")
+    unit_arrivals = np.cumsum(_unit_gaps(n_requests, rng, arrival_cv))
+    return [
+        _batch_outcome_from_arrivals(
+            unit_arrivals / rate, batch_size, batch_timeout,
+            setup_time, per_item_time,
+        )
+        for rate in rates
+    ]
+
+
+def _batch_outcome_from_arrivals(
+    arrivals: np.ndarray,
+    batch_size: int,
+    batch_timeout: float,
+    setup_time: float,
+    per_item_time: float,
+) -> QueueOutcome:
     counts, dispatches, spans, finishes = _batch_schedule(
         arrivals, batch_size, batch_timeout, setup_time, per_item_time
     )

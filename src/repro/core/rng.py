@@ -29,6 +29,21 @@ class RandomStreams:
             self._streams[name] = generator
         return generator
 
+    def fresh(self, name: str) -> np.random.Generator:
+        """A NEW generator for ``name`` at its initial state.
+
+        Unlike :meth:`stream` — which memoizes the generator so later
+        callers continue the sequence — every call returns identical
+        draws.  Use for measurements that may legitimately re-sample the
+        same substream (the hybrid engine's batched rate ladders, whose
+        arrays must be a pure function of ``(root_seed, name)`` no
+        matter how many window/degradation passes re-run them).  Never
+        mix with :meth:`stream` on the same name: the registry stream's
+        first draws would silently correlate with every fresh draw.
+        """
+        seed = np.random.SeedSequence([self.root_seed, _stable_hash(name)])
+        return np.random.Generator(np.random.PCG64(seed))
+
     def fork(self, salt: int) -> "RandomStreams":
         """A new registry whose streams are independent of this one."""
         return RandomStreams(root_seed=_mix(self.root_seed, salt))

@@ -13,6 +13,7 @@ import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..core import hybrid
 from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from .measurement import (
@@ -100,6 +101,7 @@ def run_fig4(
     streams: Optional[RandomStreams] = None,
     jobs: int = 1,
     executor: Optional[ParallelExecutor] = None,
+    engine: Optional[str] = None,
 ) -> List[Fig4Row]:
     """Measure every function on both platforms; returns the figure rows.
 
@@ -107,11 +109,14 @@ def run_fig4(
     units (each re-derives its RNG substreams from ``(seed, name)``), so
     ``jobs=N`` fans them across processes with element-wise identical
     output to ``jobs=1``.  Results are memoized through the global
-    result cache, keyed on (profile, platform, fidelity, seed).
+    result cache, keyed on (profile, platform, fidelity, seed, engine);
+    the probe engine is resolved here so workers never depend on an
+    inherited process global.
     """
     streams = streams or RandomStreams()
     seed = streams.root_seed
     executor = executor or ParallelExecutor(jobs)
+    engine = hybrid.resolve_engine(engine)
 
     pairs = [
         (key, get_profile(key, samples=samples))
@@ -121,7 +126,7 @@ def run_fig4(
     cache_keys: List[str] = []
     for key, profile in pairs:
         for platform in ("host", snic_platform_for(profile)):
-            args = (key, platform, seed, samples, n_requests)
+            args = (key, platform, seed, samples, n_requests, None, engine)
             units.append(
                 WorkUnit(name=f"fig4:{key}:{platform}",
                          fn=compute_operating_point, args=args)
@@ -202,7 +207,8 @@ FIG4_SMOKE_KEYS = (
 def _fig4_runner(ctx: ExperimentContext) -> List[Fig4Row]:
     fid = ctx.fidelity()
     kwargs = dict(samples=fid.samples, n_requests=fid.requests,
-                  streams=ctx.streams, executor=ctx.executor)
+                  streams=ctx.streams, executor=ctx.executor,
+                  engine=fid.engine)
     if fid.keys is not None:
         kwargs["keys"] = fid.keys
     return run_fig4(**kwargs)

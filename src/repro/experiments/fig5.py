@@ -15,11 +15,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core import hybrid
 from ..core.cache import cache_key
 from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from ..core.units import gbps_to_bytes_per_second
-from .measurement import ACCEL_PLATFORM, run_fixed_rate
+from .measurement import ACCEL_PLATFORM, run_fixed_rate, run_validated_ladder
 from .profiles import FunctionProfile, get_profile
 from .registry import Experiment, ExperimentContext, register, smoke_tier
 
@@ -70,15 +71,29 @@ def measure_series(
     streams: RandomStreams,
     cores: Optional[int] = None,
     n_requests: int = 12_000,
+    engine: Optional[str] = None,
 ) -> Fig5Series:
     if cores is not None:
         profile = replace(profile, cores={**profile.cores, platform: cores})
     series = Fig5Series(
         label=label, ruleset=profile.key, platform=platform, cores=cores
     )
-    for gbps in rates_gbps:
-        rate = _rate_for_gbps(profile, float(gbps))
-        metrics = run_fixed_rate(profile, platform, rate, streams, n_requests)
+    rates = [_rate_for_gbps(profile, float(gbps)) for gbps in rates_gbps]
+    if hybrid.resolve_engine(engine) == hybrid.ENGINE_HYBRID:
+        # One batched kernel call per curve covering the knee window and
+        # the low/high spot checks; far-from-knee rates are answered
+        # analytically once the spot checks validate within tolerance
+        # (see measurement.run_validated_ladder).
+        per_rate = run_validated_ladder(profile, platform, rates, streams,
+                                        n_requests)
+    else:
+        # Legacy per-probe loop: each rate draws its own substream, which
+        # is the byte-identical pre-hybrid behaviour.
+        per_rate = [
+            run_fixed_rate(profile, platform, rate, streams, n_requests)
+            for rate in rates
+        ]
+    for gbps, metrics in zip(rates_gbps, per_rate):
         series.points.append(
             Fig5Point(
                 offered_gbps=float(gbps),
@@ -99,18 +114,20 @@ def compute_series(
     samples: int,
     n_requests: int,
     seed: int,
+    engine: Optional[str] = None,
 ) -> Fig5Series:
     """Picklable work unit: one Fig. 5 curve from primitives.
 
     Rebuilds the profile and a fresh ``RandomStreams(seed)``; every rate
-    point derives its substream from ``(seed, key:platform:rate)``, so
-    the curve is independent of which process — or position in the batch
-    — computes it.
+    point derives its substream from ``(seed, key:platform:rate)`` (or a
+    single shared ladder substream under the hybrid engine), so the
+    curve is independent of which process — or position in the batch —
+    computes it.
     """
     profile = get_profile(f"rem:{ruleset}@mtu", samples=samples)
     return measure_series(
         profile, platform, label, tuple(rates_gbps), RandomStreams(seed),
-        cores=cores, n_requests=n_requests,
+        cores=cores, n_requests=n_requests, engine=engine,
     )
 
 
@@ -122,10 +139,11 @@ def _series_cache_key(
     samples: int,
     n_requests: int,
     seed: int,
+    engine: str,
 ) -> str:
     return cache_key("fig5-series", ruleset, platform, cores,
                      tuple(float(r) for r in rates_gbps), samples,
-                     n_requests, seed)
+                     n_requests, seed, engine)
 
 
 def run_fig5(
@@ -136,16 +154,20 @@ def run_fig5(
     streams: Optional[RandomStreams] = None,
     jobs: int = 1,
     executor: Optional[ParallelExecutor] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, List[Fig5Series]]:
     """All Fig. 5 curves, keyed by rule set.
 
     Each (ruleset, platform, cores) curve is an independent work unit;
     ``jobs=N`` fans them out with output identical to the serial run,
-    and whole curves are memoized in the result cache.
+    and whole curves are memoized in the result cache.  The probe engine
+    is resolved here and travels inside the unit args so workers never
+    depend on an inherited process global.
     """
     streams = streams or RandomStreams()
     seed = streams.root_seed
     executor = executor or ParallelExecutor(jobs)
+    engine = hybrid.resolve_engine(engine)
 
     specs = []  # (ruleset, platform, label, cores)
     for ruleset in rulesets:
@@ -157,13 +179,13 @@ def run_fig5(
             name=f"fig5:{ruleset}:{label}",
             fn=compute_series,
             args=(ruleset, platform, label, cores, tuple(rates_gbps),
-                  samples, n_requests, seed),
+                  samples, n_requests, seed, engine),
         )
         for ruleset, platform, label, cores in specs
     ]
     keys = [
         _series_cache_key(ruleset, platform, cores, rates_gbps, samples,
-                          n_requests, seed)
+                          n_requests, seed, engine)
         for ruleset, platform, _, cores in specs
     ]
     logger.info("fig5: measuring %d curves x %d rates (jobs=%d)",
@@ -198,7 +220,8 @@ SMOKE_RATES_GBPS = (10, 30, 50)
 def _fig5_runner(ctx: ExperimentContext) -> Dict[str, List[Fig5Series]]:
     fid = ctx.fidelity()
     kwargs = dict(samples=fid.samples, n_requests=fid.requests,
-                  streams=ctx.streams, executor=ctx.executor)
+                  streams=ctx.streams, executor=ctx.executor,
+                  engine=fid.engine)
     if fid.rates_gbps is not None:
         kwargs["rates_gbps"] = fid.rates_gbps
     return run_fig5(**kwargs)

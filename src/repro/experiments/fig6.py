@@ -76,8 +76,10 @@ def run_fig6(
     samples: int = 300,
     n_requests: int = 20_000,
     streams: Optional[RandomStreams] = None,
+    engine: Optional[str] = None,
 ) -> List[Fig6Row]:
-    return rows_from_fig4(run_fig4(keys, samples, n_requests, streams))
+    return rows_from_fig4(
+        run_fig4(keys, samples, n_requests, streams, engine=engine))
 
 
 def format_fig6(rows: List[Fig6Row]) -> str:

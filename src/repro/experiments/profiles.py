@@ -240,10 +240,7 @@ def _profile_bm25(docs_label: str, samples: int) -> FunctionProfile:
     index = bm25_mod.build_index(corpus_mod.document_corpus(documents, rng))
     ranker = bm25_mod.Bm25Ranker(index)
     queries = corpus_mod.query_stream(samples, rng, terms_per_query=12)
-    work_samples = []
-    for query in queries:
-        _, work = ranker.score(query)
-        work_samples.append(work)
+    work_samples = [ranker.work_units(query) for query in queries]
     return FunctionProfile(
         key=f"bm25:{docs_label}",
         display=f"BM25 {docs_label} docs",
@@ -636,9 +633,18 @@ EXTENSION_PROFILE_KEYS = (
 DEFAULT_SAMPLES = 300
 
 
-@lru_cache(maxsize=None)
 def get_profile(key: str, samples: int = DEFAULT_SAMPLES) -> FunctionProfile:
-    """Build (or fetch the cached) profile for a benchmark config key."""
+    """Build (or fetch the cached) profile for a benchmark config key.
+
+    Plain wrapper so positional and keyword calls share one cache entry
+    (``lru_cache`` keys them separately, which would rebuild these
+    expensive fixtures).
+    """
+    return _build_profile(key, samples)
+
+
+@lru_cache(maxsize=None)
+def _build_profile(key: str, samples: int) -> FunctionProfile:
     try:
         builder = _BUILDERS[key]
     except KeyError:

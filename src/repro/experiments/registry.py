@@ -99,6 +99,9 @@ class Fidelity:
     ``keys``/``rates_gbps`` restrict an experiment's sweep axes (the
     Fig. 4 function list, the Fig. 5 rate ladder); ``params`` carries
     experiment-specific extras (e.g. ``n_packets`` for the mode study).
+    ``engine`` optionally pins a tier to one probe engine
+    (:mod:`repro.core.hybrid`); ``None`` inherits the invocation's
+    ``--engine`` choice.
     """
 
     samples: Optional[int] = None
@@ -106,9 +109,12 @@ class Fidelity:
     keys: Optional[Tuple[str, ...]] = None
     rates_gbps: Optional[Tuple[float, ...]] = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    engine: Optional[str] = None
 
-    def resolve(self, samples: int, requests: int,
-                smoke: bool) -> "ResolvedFidelity":
+    def resolve(self, samples: int, requests: int, smoke: bool,
+                engine: Optional[str] = None) -> "ResolvedFidelity":
+        from ..core import hybrid
+
         return ResolvedFidelity(
             samples=min(samples, self.samples) if self.samples else samples,
             requests=(min(requests, self.requests)
@@ -117,6 +123,7 @@ class Fidelity:
             rates_gbps=self.rates_gbps,
             smoke=smoke,
             params=dict(self.params),
+            engine=hybrid.resolve_engine(self.engine or engine),
         )
 
 
@@ -130,6 +137,7 @@ class ResolvedFidelity:
     rates_gbps: Optional[Tuple[float, ...]]
     smoke: bool
     params: Dict[str, Any]
+    engine: str = "hybrid"
 
 
 def smoke_tier(samples: int = 40, requests: int = 2_500,
@@ -264,7 +272,9 @@ class ExperimentContext:
         tier: str = DEFAULT_TIER,
         samples: int = DEFAULT_SAMPLES,
         requests: int = DEFAULT_REQUESTS,
+        engine: Optional[str] = None,
     ):
+        from ..core import hybrid
         from ..core.executor import ParallelExecutor
         from ..core.rng import RandomStreams
 
@@ -273,6 +283,7 @@ class ExperimentContext:
         self.tier = tier
         self.samples = samples
         self.requests = requests
+        self.engine = hybrid.resolve_engine(engine)
         self._results: Dict[str, Any] = {}
         self._running: List[str] = []
         self._current: List[Experiment] = []
@@ -300,7 +311,8 @@ class ExperimentContext:
                 )
             spec = self._current[-1]
         return spec.tier(self.tier).resolve(self.samples, self.requests,
-                                            smoke=self.smoke)
+                                            smoke=self.smoke,
+                                            engine=self.engine)
 
     def run(self, name: str) -> Any:
         """The (memoized) result of the registered experiment ``name``.

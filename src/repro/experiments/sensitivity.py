@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from .. import calibration
+from ..core import hybrid
 from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from .fig4 import snic_platform_for
@@ -102,6 +103,7 @@ def _snic_point_under_design(
     seed: int,
     samples: int,
     n_requests: int,
+    engine: Optional[str] = None,
 ) -> float:
     """Picklable work unit: SNIC throughput under a hypothetical design.
 
@@ -117,7 +119,7 @@ def _snic_point_under_design(
     try:
         point = measure_operating_point(
             profile, snic_platform_for(profile), RandomStreams(seed).fork(salt),
-            n_requests,
+            n_requests, engine=engine,
         )
     finally:
         calibration.PLATFORMS["snic-cpu"] = original_platform
@@ -134,6 +136,7 @@ def run_sensitivity(
     n_requests: int = 8_000,
     streams: Optional[RandomStreams] = None,
     executor: Optional[ParallelExecutor] = None,
+    engine: Optional[str] = None,
 ) -> List[SensitivityRow]:
     """Sweep hypothetical SNIC designs over representative functions.
 
@@ -144,8 +147,10 @@ def run_sensitivity(
     streams = streams or RandomStreams(41)
     seed = streams.root_seed
     executor = executor or ParallelExecutor(1)
+    engine = hybrid.resolve_engine(engine)
 
-    host_args = [(key, "host", seed, samples, n_requests) for key in keys]
+    host_args = [(key, "host", seed, samples, n_requests, None, engine)
+                 for key in keys]
     host_points = map_cached(
         executor,
         [WorkUnit(name=f"sensitivity:{key}:host", fn=compute_operating_point,
@@ -156,7 +161,8 @@ def run_sensitivity(
         WorkUnit(
             name=f"sensitivity:{key}:{design.name}",
             fn=_snic_point_under_design,
-            args=(key, design, 100 + index, seed, samples, n_requests),
+            args=(key, design, 100 + index, seed, samples, n_requests,
+                  engine),
         )
         for key in keys
         for index, design in enumerate(designs)
@@ -204,7 +210,8 @@ def format_sensitivity(rows: List[SensitivityRow]) -> str:
 def _sensitivity_runner(ctx: ExperimentContext) -> List[SensitivityRow]:
     fid = ctx.fidelity()
     return run_sensitivity(samples=fid.samples, n_requests=fid.requests,
-                           streams=ctx.streams, executor=ctx.executor)
+                           streams=ctx.streams, executor=ctx.executor,
+                           engine=fid.engine)
 
 
 register(Experiment(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from .. import calibration
+from ..core import hybrid
 from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from .measurement import (
@@ -96,6 +97,7 @@ def _snic_point_under_offload(
     seed: int,
     samples: int,
     n_requests: int,
+    engine: Optional[str] = None,
 ) -> float:
     """Picklable work unit: SNIC throughput with the scenario applied.
 
@@ -110,7 +112,8 @@ def _snic_point_under_offload(
     calibration.PLATFORMS["snic-cpu"] = _snic_with_offload(scenario)
     try:
         point = measure_operating_point(
-            profile, "snic-cpu", RandomStreams(seed).fork(salt), n_requests
+            profile, "snic-cpu", RandomStreams(seed).fork(salt), n_requests,
+            engine=engine,
         )
     finally:
         calibration.PLATFORMS["snic-cpu"] = original
@@ -124,6 +127,7 @@ def run_strategy1(
     n_requests: int = 8_000,
     streams: Optional[RandomStreams] = None,
     executor: Optional[ParallelExecutor] = None,
+    engine: Optional[str] = None,
 ) -> List[Strategy1Row]:
     """Measure each function under each stack-offload scenario.
 
@@ -136,8 +140,10 @@ def run_strategy1(
     streams = streams or RandomStreams(31)
     seed = streams.root_seed
     executor = executor or ParallelExecutor(1)
+    engine = hybrid.resolve_engine(engine)
 
-    host_args = [(key, "host", seed, samples, n_requests) for key in keys]
+    host_args = [(key, "host", seed, samples, n_requests, None, engine)
+                 for key in keys]
     host_points = map_cached(
         executor,
         [WorkUnit(name=f"strategy1:{key}:host", fn=compute_operating_point,
@@ -148,7 +154,8 @@ def run_strategy1(
         WorkUnit(
             name=f"strategy1:{key}:{scenario.name}",
             fn=_snic_point_under_offload,
-            args=(key, scenario, index + 1, seed, samples, n_requests),
+            args=(key, scenario, index + 1, seed, samples, n_requests,
+                  engine),
         )
         for key in keys
         for index, scenario in enumerate(scenarios)
@@ -199,7 +206,8 @@ def format_strategy1(rows: List[Strategy1Row]) -> str:
 def _strategy1_runner(ctx: ExperimentContext) -> List[Strategy1Row]:
     fid = ctx.fidelity()
     return run_strategy1(samples=fid.samples, n_requests=fid.requests,
-                         streams=ctx.streams, executor=ctx.executor)
+                         streams=ctx.streams, executor=ctx.executor,
+                         engine=fid.engine)
 
 
 register(Experiment(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis.tco import TcoComparison, compare
+from ..core import hybrid
 from ..core.executor import ParallelExecutor, WorkUnit, map_cached
 from ..core.rng import RandomStreams
 from .fig4 import snic_platform_for
@@ -46,6 +47,7 @@ def run_table5(
     snic_servers: int = 10,
     executor: Optional[ParallelExecutor] = None,
     table4: Optional[Table4Result] = None,
+    engine: Optional[str] = None,
 ) -> Table5Result:
     """Five-year TCO per application from measured operating points.
 
@@ -60,6 +62,7 @@ def run_table5(
     streams = streams or RandomStreams()
     seed = streams.root_seed
     executor = executor or ParallelExecutor(1)
+    engine = hybrid.resolve_engine(engine)
     if table4 is None:
         table4 = run_table4(samples=samples, n_requests=n_requests,
                             streams=streams, executor=executor)
@@ -71,7 +74,7 @@ def run_table5(
     for _, key in point_apps:
         profile = get_profile(key, samples=samples)
         for platform in ("host", snic_platform_for(profile)):
-            args = (key, platform, seed, samples, n_requests)
+            args = (key, platform, seed, samples, n_requests, None, engine)
             units.append(WorkUnit(name=f"table5:{key}:{platform}",
                                   fn=compute_operating_point, args=args))
             keys.append(operating_point_cache_key(*args))
@@ -117,7 +120,7 @@ def _table5_runner(ctx: ExperimentContext) -> Table5Result:
     fid = ctx.fidelity()
     return run_table5(samples=fid.samples, n_requests=fid.requests,
                       streams=ctx.streams, executor=ctx.executor,
-                      table4=ctx.run("table4"))
+                      table4=ctx.run("table4"), engine=fid.engine)
 
 
 def _format_table5(result: Table5Result) -> str:

@@ -17,7 +17,9 @@ its cores (which also inflates effective per-request service).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from .schedule import (
     KIND_CORE_LOSS,
@@ -115,6 +117,48 @@ class SnicHealth:
         if not hits:
             return t
         return max(hit.end_s for hit in hits)
+
+    def service_profile(
+        self, times: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``(available, service_factor, unavailable_until)``.
+
+        Element ``i`` equals the scalar methods evaluated at ``times[i]``
+        — the same comparisons and arithmetic over the same episode
+        floats — so per-packet simulators can precompute health for a
+        whole arrival vector instead of querying three methods per
+        packet.  ``service_factor`` is ``inf`` wherever the path is down
+        (callers never read it there); ``unavailable_until`` equals the
+        timestamp itself wherever the path is up.
+        """
+        times = np.asarray(times, dtype=float)
+        n = len(times)
+        available = ~self.timeline.active_mask(
+            times, self.target, KIND_OUTAGE
+        )
+        throttle = np.ones(n)
+        lost = np.zeros(n)
+        until = times.copy()
+        for spec in self.timeline.specs:
+            if spec.target != self.target:
+                continue
+            for start, end in self.timeline.episodes(spec.name):
+                covered = (times >= start) & (times < end)
+                if not covered.any():
+                    continue
+                if spec.kind == KIND_DEGRADE:
+                    np.maximum(throttle, spec.severity, out=throttle,
+                               where=covered)
+                elif spec.kind == KIND_CORE_LOSS:
+                    np.maximum(lost, spec.severity, out=lost,
+                               where=covered)
+                elif spec.kind == KIND_OUTAGE:
+                    np.maximum(until, end, out=until, where=covered)
+        alive = np.maximum(0.0, 1.0 - lost)
+        with np.errstate(divide="ignore"):
+            factor = np.maximum(throttle, 1.0) / alive
+        factor[~available] = np.inf
+        return available, factor, until
 
     def outage_windows(self) -> List[tuple]:
         windows = []

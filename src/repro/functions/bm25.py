@@ -100,6 +100,25 @@ class Bm25Ranker:
         ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:top_k]
         return ranked, work
 
+    def work_units(self, query: str) -> WorkUnits:
+        """The :meth:`score` work tally without ranking.
+
+        Work units are one ``bm25_query_term`` per query term and one
+        ``bm25_posting`` per posting traversed — both fully determined
+        by postings-list lengths, so the tally (including float-exact
+        counts: n additions of 1.0 equal float(n) here) is identical to
+        what :meth:`score` returns.  Profile builders use this: they
+        only keep the work counts, and pricing a 1 K-document corpus
+        does not need the scores re-ranked per sample.
+        """
+        work = WorkUnits()
+        for term in tokenize(query):
+            work.add("bm25_query_term", 1.0)
+            postings = self.index.postings.get(term)
+            if postings:
+                work.add("bm25_posting", float(len(postings)))
+        return work
+
 
 def build_index(documents: Sequence[str]) -> InvertedIndex:
     index = InvertedIndex()

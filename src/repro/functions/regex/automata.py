@@ -151,12 +151,42 @@ class Dfa:
 
 def determinize(nfa: Nfa, max_states: int = 20000) -> Dfa:
     """Subset construction with a search-mode self-looping start state."""
-    start_set = nfa.closure({nfa.start})
-    index_of: Dict[FrozenSet[int], int] = {start_set: 0}
-    order: List[FrozenSet[int]] = [start_set]
+    # NFA subsets are int bitmasks: identical membership semantics to the
+    # frozensets of the naive construction (mask identity == set
+    # identity), but unions are word-parallel and closures memoizable.
+    # Epsilon closures decompose over union — closure(S) is the union of
+    # the members' single-state closures — so precompute those once.
+    # Per-state byte->targets moves replay the original nested-loop byte
+    # order: the merged dict's first-seen byte order fixes the discovery
+    # order of new DFA states, and that order (hence state numbering,
+    # depth classes, and the final table) must not change.
+    single_mask: List[int] = []
+    for s in range(len(nfa.states)):
+        mask = 0
+        for member in nfa.closure({s}):
+            mask |= 1 << member
+        single_mask.append(mask)
+    state_moves: List[Dict[int, int]] = []
+    for s, st in enumerate(nfa.states):
+        per: Dict[int, int] = {}
+        if s == nfa.start:
+            # search semantics: start state loops on every byte
+            for byte in range(256):
+                per[byte] = per.get(byte, 0) | (1 << nfa.start)
+        for allowed, target in st.transitions:
+            bit = 1 << target
+            for byte in allowed:
+                per[byte] = per.get(byte, 0) | bit
+        state_moves.append(per)
+
+    start_bit = 1 << nfa.start
+    start_set = single_mask[nfa.start]
+    index_of: Dict[int, int] = {start_set: 0}
+    order: List[int] = [start_set]
     transitions: List[int] = []
     accepts: List[Tuple[int, ...]] = []
     depth_class: List[int] = [0]
+    closure_of: Dict[int, int] = {}  # targets mask -> closure mask
 
     work = [start_set]
     while work:
@@ -164,19 +194,26 @@ def determinize(nfa: Nfa, max_states: int = 20000) -> Dfa:
         current_index = index_of[current]
         while len(transitions) < (current_index + 1) * 256:
             transitions.extend([0] * 256)
-        # Build move sets per byte.
-        moves: Dict[int, Set[int]] = {}
-        for state in current:
-            # search semantics: start state loops on every byte
-            if state == nfa.start:
-                for byte in range(256):
-                    moves.setdefault(byte, set()).add(nfa.start)
-            for allowed, target in nfa.states[state].transitions:
-                for byte in allowed:
-                    moves.setdefault(byte, set()).add(target)
+        # Merge per-state move maps into per-byte target masks.
+        moves: Dict[int, int] = {}
+        remaining = current
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            state = low.bit_length() - 1
+            for byte, bits in state_moves[state].items():
+                moves[byte] = moves.get(byte, 0) | bits
         for byte, targets in moves.items():
-            targets.add(nfa.start)  # keep scanning for later matches
-            closure = nfa.closure(targets)
+            targets |= start_bit  # keep scanning for later matches
+            closure = closure_of.get(targets)
+            if closure is None:
+                closure = 0
+                bits = targets
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    closure |= single_mask[low.bit_length() - 1]
+                closure_of[targets] = closure
             index = index_of.get(closure)
             if index is None:
                 index = len(order)
@@ -191,12 +228,15 @@ def determinize(nfa: Nfa, max_states: int = 20000) -> Dfa:
             transitions[current_index * 256 + byte] = index
 
     for subset in order:
-        ids = sorted(
-            nfa.states[state].accepts
-            for state in subset
-            if nfa.states[state].accepts is not None
-        )
-        accepts.append(tuple(ids))
+        ids = []
+        bits = subset
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            accept = nfa.states[low.bit_length() - 1].accepts
+            if accept is not None:
+                ids.append(accept)
+        accepts.append(tuple(sorted(ids)))
     return Dfa(
         transitions=transitions,
         accepts=accepts,

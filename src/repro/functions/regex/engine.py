@@ -15,10 +15,27 @@ matches — a nullable pattern (``a*``) never fires on the empty string.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from ...core.work import WorkUnits
 from .automata import Dfa, Nfa, determinize
+
+
+@lru_cache(maxsize=None)
+def _compile_patterns(patterns: Tuple[str, ...], max_states: int) -> Dfa:
+    """Compile a pattern set once per process.
+
+    Subset construction is by far the most expensive fixture build (the
+    dense rule sets take seconds), and independent consumers compile the
+    same sets — the IDS and the REM offload both use the named rule sets.
+    The DFA is immutable after construction, so sharing one instance
+    across matchers is safe.
+    """
+    nfa = Nfa()
+    for pattern_id, pattern in enumerate(patterns):
+        nfa.add_pattern(pattern, pattern_id)
+    return determinize(nfa, max_states=max_states)
 
 
 @dataclass
@@ -44,10 +61,7 @@ class MultiPatternMatcher:
         if not patterns:
             raise ValueError("need at least one pattern")
         self.patterns = list(patterns)
-        nfa = Nfa()
-        for pattern_id, pattern in enumerate(self.patterns):
-            nfa.add_pattern(pattern, pattern_id)
-        self.dfa: Dfa = determinize(nfa, max_states=max_states)
+        self.dfa: Dfa = _compile_patterns(tuple(self.patterns), max_states)
 
     @property
     def state_count(self) -> int:

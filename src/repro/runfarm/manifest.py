@@ -143,6 +143,7 @@ class RunManifest:
     def begin_generation(self, *, verb: str, seed: int, samples: int,
                          requests: int, tier: str, jobs: int,
                          code_version: str,
+                         engine: Optional[str] = None,
                          argv: Optional[List[str]] = None,
                          generation: Optional[int] = None) -> int:
         """Append a ``run`` header; returns the generation number."""
@@ -158,6 +159,7 @@ class RunManifest:
             "samples": samples,
             "requests": requests,
             "tier": tier,
+            "engine": engine,
             "jobs": jobs,
             "code_version": code_version,
             "argv": list(argv) if argv else [],

@@ -94,7 +94,7 @@ class TestSupervisedRun:
         second = capsys.readouterr()
         assert second.out == first.out  # byte-identical artifact
         assert "resuming" in second.err
-        assert "probes 0" in second.err  # nothing re-simulated
+        assert "probes: 0 simulated" in second.err  # nothing re-simulated
         assert RunManifest.load(str(run_dir)).generations == 2
 
     def test_supervised_output_matches_unsupervised(self, tmp_path,

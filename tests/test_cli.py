@@ -132,7 +132,7 @@ class TestInstrumentFooter:
         second = capsys.readouterr()
         # Same artifact, but the second run probed nothing.
         assert second.out == first.out
-        assert "probes 0 " in second.err or "probes 0 |" in second.err
+        assert "probes: 0 simulated" in second.err
 
 
 class TestCheapCommands:
@@ -219,7 +219,7 @@ class TestFooterOnFailure:
         with pytest.raises(RuntimeError, match="verb exploded"):
             main(["--trace-dir", str(tmp_path), "fig7"])
         err = capsys.readouterr().err
-        assert "probes 0" in err  # the footer still printed
+        assert "probes: 0 simulated" in err  # the footer still printed
         assert (tmp_path / "trace.jsonl").exists()
         assert not trace.enabled()  # and the recorder was torn down
 

@@ -1,0 +1,27 @@
+"""The committed EXPERIMENTS.md is the report's exact output.
+
+``python -m repro report`` at default fidelity must reproduce the
+committed file byte for byte.  A mismatch means either a model change
+drifted a measured number without review, or a reviewed change shipped
+without regenerating EXPERIMENTS.md — both are bugs.  The default
+engine is hybrid, so this also pins the validated analytic fast path:
+an untrusted model sneaking a prediction into an anchor row shows up
+here as a byte diff.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_experiments_md_is_the_report_output(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert main(["report", "-o", str(target)]) == 0
+    capsys.readouterr()
+    committed = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+    assert target.read_text() == committed, (
+        "EXPERIMENTS.md is stale — regenerate it with "
+        "`python -m repro report > EXPERIMENTS.md`"
+    )
