@@ -1,0 +1,42 @@
+"""Benchmark for the cluster extension: the 8-node incast study.
+
+Wall-clock for the smoke-tier cluster run (the CI configuration: incast
+under ECN and drop-tail on a 2x4 leaf-spine fabric), recorded to
+``BENCH_cluster.json``.  The printed table is the experiment's own
+formatter output; the assertions pin the headline — ECN keeps incast
+out of RTO recovery, drop-tail does not.
+"""
+
+from conftest import mean_seconds, record_bench, run_once
+
+from repro.core.rng import RandomStreams
+from repro.experiments.cluster import (
+    SMOKE_FLOW_BYTES,
+    SMOKE_SCENARIOS,
+    format_cluster,
+    run_cluster_study,
+)
+
+
+def test_cluster_incast_smoke(benchmark):
+    study = run_once(
+        benchmark, run_cluster_study,
+        scenarios=SMOKE_SCENARIOS, flow_bytes=SMOKE_FLOW_BYTES,
+        samples=40, n_packets=2_500, streams=RandomStreams(2023),
+    )
+    print()
+    print(format_cluster(study))
+
+    by_label = dict(study.scenarios)
+    ecn, droptail = by_label["incast-ecn"], by_label["incast-droptail"]
+    assert ecn.completed == ecn.flows
+    assert droptail.fct_p99_s > 5 * ecn.fct_p99_s
+    record_bench(
+        "cluster", "incast_smoke",
+        seconds=mean_seconds(benchmark),
+        n_nodes=study.n_nodes,
+        ecn_fct_p99_s=ecn.fct_p99_s,
+        droptail_fct_p99_s=droptail.fct_p99_s,
+        ecn_marks=ecn.ecn_marks_seen,
+        droptail_drops=droptail.fabric_dropped,
+    )

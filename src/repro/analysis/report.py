@@ -16,7 +16,7 @@ from ..core.rng import RandomStreams
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.executor import ParallelExecutor
     from ..experiments.registry import ExperimentContext
-from ..experiments import format_faults, format_verdicts
+from ..experiments import format_cluster, format_faults, format_verdicts
 from .attribution import format_attribution_markdown
 from .attribution import rows_from_fig4 as attribution_rows_from_fig4
 from .tco import format_comparison
@@ -183,6 +183,31 @@ def render_faults_section(faults_text: str) -> List[str]:
     ]
 
 
+def render_cluster_section(cluster_text: str) -> List[str]:
+    """The cluster-scale block appended to the report."""
+    return [
+        "",
+        "## Cluster scale (extension)",
+        "",
+        "Racks of calibrated server+SNIC nodes behind a two-tier",
+        "leaf-spine fabric (`python -m repro cluster`, DESIGN.md §15).",
+        "Each scenario drives a traffic mix — many-to-one incast,",
+        "uniform random, or skewed — as TCP flows through per-port",
+        "bounded switch queues with RED/ECN marking; the same congestion",
+        "machinery that serves single-node runs reacts to the marks.",
+        "Drop-tail incast is the control: identical buffers, recovery by",
+        "RTO only.  `fleet placement` sizes node counts per profile to a",
+        "cluster-level throughput+SLO target and prices them ($/krps);",
+        "`rack-outage failover` darkens one rack mid-run (a correlated",
+        "fault domain) and measures availability at the deadline while",
+        "the load balancer re-routes.",
+        "",
+        "```",
+        cluster_text,
+        "```",
+    ]
+
+
 def render_profile_section(profiles: Sequence, top_n: int = 10) -> List[str]:
     """The slowest-work-units block (supervised runs only).
 
@@ -215,6 +240,7 @@ def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
                   table5_text: str, fig7_stats: Dict[str, float],
                   faults_text: Optional[str] = None,
                   attribution_text: Optional[str] = None,
+                  cluster_text: Optional[str] = None,
                   profiles: Optional[Sequence] = None) -> str:
     lines = [
         "# EXPERIMENTS — paper vs. measured",
@@ -303,6 +329,8 @@ def render_report(anchor_rows: Sequence[AnchorRow], verdict_text: str,
         ]
     if faults_text is not None:
         lines += render_faults_section(faults_text)
+    if cluster_text is not None:
+        lines += render_cluster_section(cluster_text)
     if profiles:
         lines += render_profile_section(profiles)
     lines += [
@@ -372,6 +400,7 @@ def generate_report(
     table5 = ctx.run("table5")
     fig7 = ctx.run("fig7")
     faults = ctx.run("faults")
+    cluster = ctx.run("cluster")
     verdicts = ctx.run("observations")
 
     # The fault study degrades to a partial-results verdict when the
@@ -382,6 +411,8 @@ def generate_report(
 
     faults_text = (faults.notice() if isinstance(faults, PartialResult)
                    else format_faults(faults))
+    cluster_text = (cluster.notice() if isinstance(cluster, PartialResult)
+                    else format_cluster(cluster))
 
     anchor_rows = collect_anchor_rows(fig4_rows, fig6_rows, fig5_curves,
                                       table4, table5)
@@ -397,5 +428,6 @@ def generate_report(
         faults_text=faults_text,
         attribution_text=format_attribution_markdown(
             attribution_rows_from_fig4(fig4_rows)),
+        cluster_text=cluster_text,
         profiles=profiles,
     )

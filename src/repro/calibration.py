@@ -25,7 +25,7 @@ EXPERIMENTS.md records which side of each reported number is anchored.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -282,6 +282,90 @@ ACCELERATORS: Dict[str, AcceleratorCalibration] = {
         setup_latency_s=6e-6,
         max_batch=32,
         staging_cores=1,
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Cluster node profiles: which platform plays which role on each node kind
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Calibrated behaviour of one :data:`repro.hardware.NODE_SPECS` entry.
+
+    The descriptive spec says which parts make up the node; this record
+    says how they are *used*: which measured platform serves application
+    requests (and with how many cores), which platform and stack carry the
+    cluster transport, whether ingress crosses PCIe before reaching the
+    serving complex, and which fixed-function engines are available for
+    tax offload.  The asymmetry is the paper's tax story at rack scale —
+    an on-path SNIC runs the transport on its Arm cores and gives the
+    host its cores back, a plain NIC spends host cores on the same work.
+    """
+
+    key: str
+    spec_key: str
+    serve_platform: str       # PLATFORMS key executing application work
+    serve_cores: int
+    transport_platform: str   # PLATFORMS key running the fabric transport
+    transport_stack: str      # StackCost key pricing per-packet ingest
+    transport_cores: int
+    pcie_hop: bool            # ingress crosses PCIe after the transport
+    accelerators: Tuple[str, ...] = ()
+    # Wall power: floor when idle, additional span at full utilization.
+    idle_w: float = 0.0
+    active_span_w: float = 0.0
+
+    @property
+    def platform(self) -> PlatformCalibration:
+        return PLATFORMS[self.serve_platform]
+
+    def transport_packet_seconds(self, wire_bytes: int) -> float:
+        """One-core per-packet ingest cost of the cluster transport."""
+        platform = PLATFORMS[self.transport_platform]
+        return platform.stack_seconds(self.transport_stack, wire_bytes)
+
+    def power_w(self, utilization: float) -> float:
+        u = min(max(utilization, 0.0), 1.0)
+        return self.idle_w + u * self.active_span_w
+
+
+NODE_PROFILES: Dict[str, NodeProfile] = {
+    # Paper testbed at rack scale: on-path BlueField-2 runs the transport
+    # on its Arm cores; all eight host cores serve requests.  Ingress pays
+    # the PCIe hop (§2.3 on-path).  Idle wall power already includes the
+    # installed SNIC (§4).
+    "host+bf2": NodeProfile(
+        key="host+bf2", spec_key="host+bf2",
+        serve_platform="host", serve_cores=8,
+        transport_platform="snic-cpu", transport_stack="dpdk",
+        transport_cores=2, pcie_hop=True,
+        accelerators=("rem", "compression", "crypto"),
+        idle_w=252.0,
+        active_span_w=8 * 10.5 + 28.0 + 8 * 0.50,
+    ),
+    # TCO baseline: a plain ConnectX-6 Dx; the transport competes with
+    # the application for host cores (the datacenter tax, unpaid-for).
+    "host-only": NodeProfile(
+        key="host-only", spec_key="host-only",
+        serve_platform="host", serve_cores=6,
+        transport_platform="host", transport_stack="dpdk",
+        transport_cores=2, pcie_hop=False,
+        accelerators=(),
+        idle_w=252.0 - 29.0 + 16.0,
+        active_span_w=8 * 10.5 + 28.0,
+    ),
+    # Headless SNIC node (Lovelock direction): the Arm complex both
+    # transports and serves; tiny power span, tiny capacity.
+    "all-snic": NodeProfile(
+        key="all-snic", spec_key="all-snic",
+        serve_platform="snic-cpu", serve_cores=6,
+        transport_platform="snic-cpu", transport_stack="dpdk",
+        transport_cores=2, pcie_hop=False,
+        accelerators=("rem", "compression", "crypto"),
+        idle_w=29.0,
+        active_span_w=8 * 0.50 + sum((1.3, 1.2, 0.9)),
     ),
 }
 

@@ -380,6 +380,21 @@ def _runfarm_active(args) -> bool:
                 or args.max_unit_attempts is not None)
 
 
+def _invocation_topology(command: str, tier: str) -> str:
+    """The topology id this invocation will realize.
+
+    Only the ``cluster`` verb fans out over a fabric; every other verb
+    runs the seed repo's single-node world.
+    """
+    if command == "cluster":
+        from .experiments.cluster import tier_topology_id
+
+        return tier_topology_id(tier)
+    from .cluster import single_node_spec
+
+    return single_node_spec().topology_id()
+
+
 def _setup_runfarm(args, parser) -> ParallelExecutor:
     """Build the supervised executor (and mutate args for resume/cache).
 
@@ -417,6 +432,16 @@ def _setup_runfarm(args, parser) -> ParallelExecutor:
             args.smoke = header["tier"] == SMOKE_TIER
         if header.get("engine"):
             args.engine = header["engine"]
+        if header.get("topology"):
+            expected = _invocation_topology(
+                args.command, SMOKE_TIER if args.smoke else DEFAULT_TIER)
+            if header["topology"] != expected:
+                parser.error(
+                    f"--resume: manifest {manifest_path} was recorded "
+                    f"for topology '{header['topology']}', but this "
+                    f"invocation realizes '{expected}'; completed units "
+                    f"would mix incompatible clusters"
+                )
         run_dir = state.run_dir
         print(f"resuming {manifest_path}: {state.summary()}",
               file=sys.stderr)
@@ -444,11 +469,13 @@ def _setup_runfarm(args, parser) -> ParallelExecutor:
     )
     executor = SupervisedExecutor(args.jobs, manifest=manifest,
                                   config=config, prior_done=prior_done)
+    tier = SMOKE_TIER if args.smoke else DEFAULT_TIER
     manifest.begin_generation(
         verb=args.command, seed=args.seed, samples=args.samples,
         requests=args.requests,
-        tier=SMOKE_TIER if args.smoke else DEFAULT_TIER,
+        tier=tier,
         engine=args.engine,
+        topology=_invocation_topology(args.command, tier),
         jobs=args.jobs, code_version=CODE_VERSION,
         argv=list(sys.argv[1:]),
     )

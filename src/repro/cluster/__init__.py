@@ -1,0 +1,33 @@
+"""Cluster layer: racks of server+SNIC nodes behind a leaf-spine fabric.
+
+The seed repo models one server and one optional SNIC; this package
+composes N of them (DESIGN.md §15).  :mod:`topology` describes the
+shape, :mod:`fabric` realizes switch ports with bounded queues and
+RED/ECN marking on the event kernel, :mod:`node` wraps the single-node
+testbed complexes behind one ``receive()``, :mod:`traffic` expands
+incast/uniform/skewed mixes, and :mod:`scenario` runs a mix over a
+topology into a picklable result.  A one-node, fabric-less topology is
+the seed world — experiments reduce to byte-identical single-node
+artifacts through that path.
+"""
+
+from .fabric import FabricPort, LeafSpineFabric, PortStats, RedConfig
+from .node import Node
+from .scenario import ScenarioResult, run_scenario
+from .topology import TopologySpec, single_node_spec
+from .traffic import MIX_KINDS, FlowSpec, expand_mix
+
+__all__ = [
+    "FabricPort",
+    "FlowSpec",
+    "LeafSpineFabric",
+    "MIX_KINDS",
+    "Node",
+    "PortStats",
+    "RedConfig",
+    "ScenarioResult",
+    "TopologySpec",
+    "expand_mix",
+    "run_scenario",
+    "single_node_spec",
+]

@@ -1,0 +1,172 @@
+"""Run one traffic mix over one topology and measure flow completion.
+
+The driver builds the whole cluster on a fresh event kernel — fabric
+ports, nodes, TCP endpoints — expands the mix into flows, and runs to
+completion.  Everything observable comes out in a picklable
+:class:`ScenarioResult`: flow-completion-time statistics, goodput,
+TCP-level ECN/retransmission counts, and the fabric's per-port queue
+accounting (hottest ports first).
+
+Determinism contract: given (topology, mix, flow size, substream) the
+result is bit-identical — the kernel is deterministic and the only
+randomness (RED coin flips, destination draws, start jitter) comes from
+the substream the caller hands in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.engine import Simulator
+from ..netstack.tcp import TcpConnection
+from .fabric import LeafSpineFabric, PortStats
+from .node import Node
+from .topology import TopologySpec
+from .traffic import FlowSpec, expand_mix
+
+SERVER_PORT = 5001
+CLIENT_PORT_BASE = 40_000
+# Generous ceiling: RTO backoff caps at 1 s, so even a drop-tail incast
+# that stalls repeatedly finishes well inside this horizon.
+HORIZON_S = 300.0
+HOT_PORTS = 4
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    kind: str
+    topology_id: str
+    n_nodes: int
+    ecn: bool
+    flow_bytes: int
+    flows: int
+    completed: int
+    # Flow completion times (connect-to-last-byte), seconds.
+    fct_mean_s: float
+    fct_p99_s: float
+    fct_max_s: float
+    goodput_gbps: float
+    makespan_s: float
+    # TCP accounting, summed over every connection on every node.
+    retransmissions: int
+    ecn_marks_seen: int
+    ecn_responses: int
+    # Fabric accounting.
+    fabric_enqueued: int
+    fabric_marked: int
+    fabric_dropped: int
+    peak_depth_bytes: float
+    packets_ingested: int
+    hot_ports: Tuple[PortStats, ...] = field(default_factory=tuple)
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (matches obs.metrics.Histogram.quantile)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered), max(1, int(np.ceil(q * len(ordered)))))
+    return ordered[rank - 1]
+
+
+def run_scenario(topo: TopologySpec, kind: str, flow_bytes: int,
+                 rng: np.random.Generator,
+                 flows_per_node: int = 1) -> ScenarioResult:
+    sim = Simulator()
+    fabric = LeafSpineFabric(sim, topo, rng)
+    nodes: Dict[int, Node] = {}
+    for node_id in topo.node_ids():
+        node = Node.build(sim, node_id, topo.address_of(node_id),
+                          topo.node_profile, fabric.egress_link(node_id),
+                          ecn=topo.ecn)
+        fabric.attach_node(node_id, node.receive)
+        nodes[node_id] = node
+
+    flows = expand_mix(kind, topo, flow_bytes, rng,
+                       flows_per_node=flows_per_node)
+    # Unique client port per flow so the receive side can attribute a
+    # connection to its flow by (remote address, remote port).
+    flow_by_peer: Dict[Tuple[int, int], FlowSpec] = {}
+    ports: Dict[int, int] = {}  # per-src next port offset
+    flow_ports: List[int] = []
+    for flow in flows:
+        offset = ports.get(flow.src, 0)
+        ports[flow.src] = offset + 1
+        port = CLIENT_PORT_BASE + offset
+        flow_ports.append(port)
+        flow_by_peer[(topo.address_of(flow.src), port)] = flow
+
+    completions: List[float] = []
+    finished_at: List[float] = []
+
+    expecting: Dict[int, int] = {}
+    for flow in flows:
+        expecting[flow.dst] = expecting.get(flow.dst, 0) + 1
+
+    def server(node: Node, count: int):
+        listener = node.endpoint.listen(SERVER_PORT)
+
+        def serve_one(conn: TcpConnection):
+            yield conn.established()
+            flow = flow_by_peer[(conn.remote_ip, conn.remote_port)]
+            yield conn.recv(flow.nbytes)
+            completions.append(sim.now - flow.start_s)
+            finished_at.append(sim.now)
+
+        for _ in range(count):
+            conn = yield listener.accept()
+            sim.process(serve_one(conn), name=f"serve-{node.node_id}")
+
+    def client(flow: FlowSpec, port: int):
+        yield sim.timeout(flow.start_s)
+        conn = nodes[flow.src].endpoint.connect(
+            port, topo.address_of(flow.dst), SERVER_PORT)
+        yield conn.established()
+        conn.send(bytes(flow.nbytes))
+
+    for dst, count in sorted(expecting.items()):
+        sim.process(server(nodes[dst], count), name=f"listen-{dst}")
+    for flow, port in zip(flows, flow_ports):
+        sim.process(client(flow, port), name=f"flow-{flow.src}->{flow.dst}")
+
+    sim.run(until=HORIZON_S)
+
+    retrans = marks = responses = 0
+    for node in nodes.values():
+        for conn in node.endpoint.connections.values():
+            retrans += conn.retransmissions
+            marks += conn.ecn_marks_seen
+            responses += conn.ecn_responses
+
+    total_payload = sum(f.nbytes for f in flows)
+    makespan = max(finished_at) if finished_at else 0.0
+    goodput = (8.0 * total_payload / makespan / 1e9) if makespan else 0.0
+    totals = fabric.totals()
+    hot = tuple(sorted(fabric.port_stats(),
+                       key=lambda s: (-s.peak_depth_bytes, s.name))[:HOT_PORTS])
+    return ScenarioResult(
+        kind=kind,
+        topology_id=topo.topology_id(),
+        n_nodes=topo.n_nodes,
+        ecn=topo.ecn,
+        flow_bytes=flow_bytes,
+        flows=len(flows),
+        completed=len(completions),
+        fct_mean_s=float(np.mean(completions)) if completions else 0.0,
+        fct_p99_s=_percentile(completions, 0.99),
+        fct_max_s=max(completions) if completions else 0.0,
+        goodput_gbps=goodput,
+        makespan_s=makespan,
+        retransmissions=retrans,
+        ecn_marks_seen=marks,
+        ecn_responses=responses,
+        fabric_enqueued=int(totals["enqueued"]),
+        fabric_marked=int(totals["marked"]),
+        fabric_dropped=int(totals["dropped"]),
+        peak_depth_bytes=float(totals["peak_depth_bytes"]),
+        packets_ingested=sum(n.packets_ingested for n in nodes.values()),
+        hot_ports=hot,
+    )

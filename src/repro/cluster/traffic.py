@@ -1,0 +1,69 @@
+"""Traffic mixes for cluster scenarios: incast, uniform, skewed.
+
+A mix expands a :class:`TopologySpec` into concrete flows — (source
+node, destination node, bytes, start time) — consuming randomness only
+from the generator it is handed, so a scenario's flow set is a pure
+function of its substream.  The skewed mix reuses the YCSB Zipfian
+generator from :mod:`repro.workloads.ycsb` — hot destinations at the
+front, the same skew law the KV workloads use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..workloads.ycsb import ZipfianGenerator
+from .topology import TopologySpec
+
+MIX_KINDS = ("incast", "uniform", "skewed")
+
+# Flows start within this window: synchronized enough to collide (the
+# incast pattern's whole point) without a physically-implausible zero
+# spread.
+START_JITTER_S = 20e-6
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    src: int
+    dst: int
+    nbytes: int
+    start_s: float
+
+
+def expand_mix(kind: str, topo: TopologySpec, flow_bytes: int,
+               rng: np.random.Generator,
+               flows_per_node: int = 1) -> List[FlowSpec]:
+    """All flows of one scenario, in deterministic (src, index) order."""
+    if kind not in MIX_KINDS:
+        raise ValueError(f"unknown mix {kind!r}; expected one of {MIX_KINDS}")
+    if topo.n_nodes < 2:
+        raise ValueError("traffic mixes need at least two nodes")
+    if flow_bytes <= 0 or flows_per_node <= 0:
+        raise ValueError("flow_bytes and flows_per_node must be positive")
+
+    nodes = list(topo.node_ids())
+    flows: List[FlowSpec] = []
+    zipf = ZipfianGenerator(len(nodes), rng) if kind == "skewed" else None
+
+    for src in nodes:
+        for _ in range(flows_per_node):
+            if kind == "incast":
+                # Everyone converges on node 0; node 0 itself sits out.
+                if src == 0:
+                    continue
+                dst = 0
+            elif kind == "uniform":
+                dst = int(rng.integers(0, len(nodes) - 1))
+                if dst >= src:
+                    dst += 1  # uniform over the *other* nodes
+            else:  # skewed
+                dst = zipf.next()
+                if dst == src:
+                    dst = (dst + 1) % len(nodes)
+            start = float(rng.uniform(0.0, START_JITTER_S))
+            flows.append(FlowSpec(src, dst, flow_bytes, start))
+    return flows

@@ -43,7 +43,7 @@ logger = logging.getLogger("repro.cache")
 #   analytic answers inside validated trust regions) and an identity-
 #   validated service-time memo — results priced under the old memo
 #   could reflect a stale calibration swap and must not be reused.
-CODE_VERSION = "2026.08.4"
+CODE_VERSION = "2026.08.5"
 
 _PRIMITIVES = (str, int, float, bool, bytes, type(None))
 

@@ -38,6 +38,12 @@ from .faults import (
     format_faults,
     run_faults_study,
 )
+from .cluster import (
+    ClusterStudy,
+    SingleNodeReduction,
+    format_cluster,
+    run_cluster_study,
+)
 from .profiles import ALL_PROFILE_KEYS, FunctionProfile, get_profile
 from .modes import format_mode_study, run_mode_study
 from .sensitivity import format_sensitivity, run_sensitivity
@@ -90,6 +96,10 @@ __all__ = [
     "ScenarioResult",
     "format_faults",
     "run_faults_study",
+    "ClusterStudy",
+    "SingleNodeReduction",
+    "format_cluster",
+    "run_cluster_study",
     "Experiment",
     "ExperimentContext",
     "Fidelity",

@@ -406,6 +406,7 @@ def get(name: str) -> Experiment:
 ARTIFACT_ORDER = (
     "fig4", "fig5", "fig6", "fig7", "table4", "table5", "observations",
     "tables", "strategy1", "modes", "sensitivity", "microburst", "faults",
+    "cluster",
 )
 
 
@@ -446,6 +447,7 @@ def load_all() -> None:
     from ..analysis import tables  # noqa: F401
     from . import strategy1, modes, sensitivity, microburst  # noqa: F401
     from . import faults  # noqa: F401
+    from . import cluster  # noqa: F401
 
 
 def reset_for_tests() -> None:

@@ -10,6 +10,15 @@ recovery mechanics.  The availability experiment lives in
 :mod:`repro.experiments.faults`.
 """
 
+from .domains import (
+    correlated,
+    node_target,
+    outage_windows,
+    rack_outage,
+    rack_targets,
+    spine_outage,
+    spine_target,
+)
 from .injector import FaultInjector, FaultTarget, InjectionRecord
 from .models import ComponentHealth, SnicHealth, health_report, healthy_snic
 from .retry import RetryOutcome, RetryPolicy, retrying_process, simulate_retries
@@ -46,4 +55,11 @@ __all__ = [
     "FaultSpec",
     "FaultTimeline",
     "materialize",
+    "correlated",
+    "node_target",
+    "outage_windows",
+    "rack_outage",
+    "rack_targets",
+    "spine_outage",
+    "spine_target",
 ]

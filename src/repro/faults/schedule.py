@@ -50,6 +50,11 @@ class FaultSpec:
     period_s: float = 0.0  # periodic spacing between episode starts
     mtbf_s: float = 0.0  # stochastic: mean time between failures
     mttr_s: float = 0.0  # stochastic: mean time to repair
+    # Correlation domain: stochastic specs sharing a ``correlation`` key
+    # draw from one substream *re-created per spec*, so they materialize
+    # identical episodes — a rack-level power event takes every node in
+    # the rack down together rather than independently.
+    correlation: Optional[str] = None
 
     def __post_init__(self):
         if self.mode not in (MODE_ONE_SHOT, MODE_PERIODIC, MODE_STOCHASTIC):
@@ -80,10 +85,11 @@ class FaultSpec:
     @classmethod
     def stochastic(cls, name: str, target: str, mtbf_s: float, mttr_s: float,
                    kind: str = KIND_OUTAGE, severity: float = 1.0,
-                   start_s: float = 0.0) -> "FaultSpec":
+                   start_s: float = 0.0,
+                   correlation: Optional[str] = None) -> "FaultSpec":
         return cls(name=name, target=target, kind=kind, severity=severity,
                    mode=MODE_STOCHASTIC, start_s=start_s, mtbf_s=mtbf_s,
-                   mttr_s=mttr_s)
+                   mttr_s=mttr_s, correlation=correlation)
 
 
 Episode = Tuple[float, float]  # [start, end) in simulated seconds
@@ -112,7 +118,12 @@ def materialize(spec: FaultSpec, horizon_s: float,
         return episodes
     # Stochastic: alternating exponential up/down times (MTBF / MTTR).
     streams = streams or RandomStreams()
-    rng = streams.stream(f"fault:{spec.name}")
+    if spec.correlation is not None:
+        # Fresh (stateless) stream per spec: every spec sharing the key
+        # replays the identical draw sequence => identical episodes.
+        rng = streams.fresh(f"fault:{spec.correlation}")
+    else:
+        rng = streams.stream(f"fault:{spec.name}")
     episodes = []
     t = spec.start_s + float(rng.exponential(spec.mtbf_s))
     while t < horizon_s:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 
 class IsaFeature(str, Enum):
@@ -227,6 +227,69 @@ PRICES_USD: Dict[str, float] = {
 
 ELECTRICITY_USD_PER_KWH = 0.162
 SERVER_LIFETIME_YEARS = 5
+
+
+# ---------------------------------------------------------------------------
+# Cluster node profiles (descriptive composition only)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster node: a chassis plus its network attachment.
+
+    Purely compositional — which datasheet parts make up the node and what
+    they cost.  How the node *behaves* (which platform serves requests,
+    which stack carries the fabric transport) is a calibration question
+    and lives in :data:`repro.calibration.NODE_PROFILES`.
+
+    ``server`` is ``None`` for headless all-SNIC nodes (the Lovelock
+    direction in PAPERS.md): the SmartNIC is the whole node.
+    """
+
+    name: str
+    server: Optional[ServerSpec]
+    snic: Optional[SnicSpec]
+    nic: Optional[NicSpec]
+
+    @property
+    def nic_gbps(self) -> float:
+        """Line rate of the node's fabric attachment."""
+        if self.snic is not None:
+            return self.snic.nic.port_gbps
+        if self.nic is not None:
+            return self.nic.port_gbps
+        raise ValueError(f"node {self.name!r} has no network attachment")
+
+    @property
+    def price_usd(self) -> float:
+        """Component capex from the paper's price table (§5.2)."""
+        total = 0.0
+        if self.server is not None:
+            total += PRICES_USD["server_without_nic"]
+        if self.snic is not None:
+            total += PRICES_USD["snic_bluefield2"]
+        if self.nic is not None:
+            total += PRICES_USD["nic_connectx6dx"]
+        return total
+
+
+NODE_SPECS: Dict[str, NodeSpec] = {
+    # The paper's testbed: a Xeon server with an on-path BlueField-2.
+    "host+bf2": NodeSpec(
+        name="host + BlueField-2",
+        server=SERVER, snic=BLUEFIELD2, nic=None,
+    ),
+    # The TCO baseline: the same server with a plain ConnectX-6 Dx.
+    "host-only": NodeSpec(
+        name="host + ConnectX-6 Dx",
+        server=SERVER, snic=None, nic=CONNECTX6_DX,
+    ),
+    # Headless SmartNIC node: no host behind the SNIC at all.
+    "all-snic": NodeSpec(
+        name="headless BlueField-2",
+        server=None, snic=BLUEFIELD2, nic=None,
+    ),
+}
 
 
 def operation_mode_paths() -> Dict[str, Tuple[str, ...]]:

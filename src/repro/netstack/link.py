@@ -31,6 +31,13 @@ from .packet import Packet
 
 Receiver = Callable[[Packet], None]
 
+# Mark-on-enqueue seam: called with (packet, queue_depth_bytes) before a
+# packet joins the serialization queue.  Return False to drop the packet
+# (tail drop / RED drop); mutate ``packet.ce`` to ECN-mark it.  Fabric
+# ports install their RED policy here instead of monkeypatching link
+# internals, and tests can install trivial markers in isolation.
+EnqueueHook = Callable[[Packet, float], bool]
+
 
 class GilbertElliottLoss:
     """Two-state (good/bad) Markov loss model: drops arrive in bursts.
@@ -112,11 +119,22 @@ class Link:
         self.loss_model = loss_model
         self.rng = rng
         self.receiver: Optional[Receiver] = None
+        self.on_enqueue: Optional[EnqueueHook] = None
         self.delivered = 0
         self.lost = 0
         self.flap_lost = 0  # subset of ``lost`` dropped while the link was down
+        self.queue_lost = 0  # subset of ``lost`` rejected by the enqueue hook
         self.down = False
         self._busy_until = 0.0
+
+    def queue_depth_bytes(self) -> float:
+        """Bytes accepted but not yet serialized onto the wire.
+
+        The link serializes FIFO from ``_busy_until``; the backlog in
+        seconds times the line rate is the instantaneous queue depth an
+        AQM policy sees at enqueue time.
+        """
+        return max(0.0, self._busy_until - self.sim.now) * self.bytes_per_second
 
     def set_down(self, down: bool) -> None:
         """Administratively flap the link; packets sent while down are lost."""
@@ -161,6 +179,14 @@ class Link:
                 if trace.TRACING:
                     trace.instant("link.drop", trace.NETSTACK, ts=self.sim.now,
                                   track=trace.subtrack("link"), reason="loss")
+                return
+        if self.on_enqueue is not None:
+            if not self.on_enqueue(packet, self.queue_depth_bytes()):
+                self.lost += 1
+                self.queue_lost += 1
+                if trace.TRACING:
+                    trace.instant("link.drop", trace.NETSTACK, ts=self.sim.now,
+                                  track=trace.subtrack("link"), reason="queue")
                 return
         serialization = packet.wire_bytes / self.bytes_per_second
         start = max(self.sim.now, self._busy_until)

@@ -30,6 +30,10 @@ class Packet:
     seq: int = 0
     ack: int = 0
     flags: frozenset = frozenset()
+    # ECN codepoint (RFC 3168): ``ecn_capable`` is ECT on the wire, ``ce``
+    # is the Congestion Experienced mark a queue may set in transit.
+    ecn_capable: bool = False
+    ce: bool = False
     # simulation bookkeeping
     created_at: float = 0.0
     packet_id: int = 0

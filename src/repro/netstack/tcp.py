@@ -30,6 +30,8 @@ DEFAULT_SSTHRESH = 64 * 1024  # bytes
 SYN = "SYN"
 ACK = "ACK"
 FIN = "FIN"
+ECE = "ECE"  # ECN-Echo: receiver saw a CE mark, keeps echoing until CWR
+CWR = "CWR"  # Congestion Window Reduced: sender acknowledges the echo
 
 
 class TcpState(Enum):
@@ -54,10 +56,12 @@ class _OutSegment:
 class TcpEndpoint:
     """One host's TCP layer: demultiplexes to connections and listeners."""
 
-    def __init__(self, sim: Simulator, address: int, egress: Link):
+    def __init__(self, sim: Simulator, address: int, egress: Link,
+                 ecn: bool = False):
         self.sim = sim
         self.address = address
         self.egress = egress
+        self.ecn = ecn  # default for connections created by this endpoint
         self.connections: Dict[Tuple[int, int, int], "TcpConnection"] = {}
         self.listeners: Dict[int, "TcpListener"] = {}
 
@@ -68,9 +72,11 @@ class TcpEndpoint:
         self.listeners[port] = listener
         return listener
 
-    def connect(self, local_port: int, remote_ip: int, remote_port: int) -> "TcpConnection":
+    def connect(self, local_port: int, remote_ip: int, remote_port: int,
+                ecn: Optional[bool] = None) -> "TcpConnection":
         connection = TcpConnection(
-            self, local_port, remote_ip, remote_port, initiate=True
+            self, local_port, remote_ip, remote_port, initiate=True,
+            ecn=self.ecn if ecn is None else ecn,
         )
         self._register(connection)
         return connection
@@ -106,7 +112,8 @@ class TcpListener:
 
     def _on_syn(self, packet: Packet) -> None:
         connection = TcpConnection(
-            self.endpoint, self.port, packet.src_ip, packet.src_port, initiate=False
+            self.endpoint, self.port, packet.src_ip, packet.src_port,
+            initiate=False, ecn=self.endpoint.ecn,
         )
         self.endpoint._register(connection)
         connection._on_packet(packet)
@@ -129,7 +136,7 @@ class TcpConnection:
 
     def __init__(self, endpoint: TcpEndpoint, local_port: int,
                  remote_ip: int, remote_port: int, initiate: bool,
-                 rto: float = DEFAULT_RTO):
+                 rto: float = DEFAULT_RTO, ecn: bool = False):
         self.endpoint = endpoint
         self.sim = endpoint.sim
         self.local_port = local_port
@@ -156,6 +163,15 @@ class TcpConnection:
         # Jacobson/Karels RTT estimation; self.rto adapts after samples
         self._srtt: Optional[float] = None
         self._rttvar: Optional[float] = None
+        # ECN (RFC 3168): data segments carry ECT; queues may set CE; the
+        # receiver echoes ECE on ACKs until the sender's CWR arrives; the
+        # sender reduces at most once per window of data.
+        self.ecn = ecn
+        self.ecn_marks_seen = 0   # CE-marked packets this side received
+        self.ecn_responses = 0    # window reductions this sender performed
+        self._ece_pending = False
+        self._cwr_pending = False
+        self._ecn_recovery_until = self.snd_nxt
         if initiate:
             self.state = TcpState.SYN_SENT
             self._send_control({SYN})
@@ -234,13 +250,23 @@ class TcpConnection:
         )
 
     def _send_control(self, flags) -> None:
+        flags = set(flags)
+        if self._ece_pending and ACK in flags and SYN not in flags:
+            flags.add(ECE)
         seq = self.iss if SYN in flags else None
         self.endpoint.send(self._packet(flags, seq=seq))
         if SYN in flags:
             self._arm_timer()
 
     def _transmit(self, segment: _OutSegment) -> None:
-        self.endpoint.send(self._packet({ACK}, segment.payload, seq=segment.seq))
+        flags = {ACK}
+        if self.ecn and self._cwr_pending:
+            flags.add(CWR)
+            self._cwr_pending = False
+        packet = self._packet(flags, segment.payload, seq=segment.seq)
+        if self.ecn:
+            packet.ecn_capable = True
+        self.endpoint.send(packet)
 
     def _arm_timer(self) -> None:
         self._timer_generation += 1
@@ -271,6 +297,13 @@ class TcpConnection:
 
     def _on_packet(self, packet: Packet) -> None:
         flags = packet.flags
+        # CWR first, then CE: a marked segment that itself carries CWR must
+        # leave the echo armed for the *new* congestion event.
+        if CWR in flags:
+            self._ece_pending = False
+        if packet.ce:
+            self._ece_pending = True
+            self.ecn_marks_seen += 1
         if self.state == TcpState.LISTEN and SYN in flags and ACK not in flags:
             self.rcv_nxt = packet.seq + 1
             self.state = TcpState.SYN_RECEIVED
@@ -298,11 +331,29 @@ class TcpConnection:
             # fall through: the ACK may carry data
 
         if ACK in flags:
+            if self.ecn and ECE in flags:
+                self._on_ecn_echo()
             self._handle_ack(packet.ack)
         if packet.payload:
             self._handle_data(packet)
         if FIN in flags:
             self._handle_fin(packet)
+
+    def _on_ecn_echo(self) -> None:
+        """React to an ECN echo: multiplicative decrease, once per window.
+
+        Repeated ECE flags for the same congestion event (the receiver
+        echoes on every ACK until CWR arrives) must not stack reductions,
+        so the cut applies only when the ACKed data was sent after the
+        previous reduction (RFC 3168 §6.1.2 semantics).
+        """
+        if self.snd_una < self._ecn_recovery_until:
+            return
+        self.ssthresh = max(2 * MSS, self.cwnd // 2)
+        self.cwnd = self.ssthresh
+        self._ecn_recovery_until = self.snd_nxt
+        self._cwr_pending = True
+        self.ecn_responses += 1
 
     def _handle_ack(self, ack: int) -> None:
         if ack <= self.snd_una:

@@ -297,6 +297,142 @@ def simulate_failover(
     )
 
 
+# ---------------------------------------------------------------------------
+# Cross-node placement: the two-path policy generalized to a fleet
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NodePathConfig:
+    """One node as a balancing target: a fluid FIFO with optional outages.
+
+    The same shape as the SNIC/host paths above, multiplied out: service
+    folded across cores into an effective drain rate, a backlog bound
+    beyond which packets drop, and (for correlated-fault studies) outage
+    windows during which the node neither drains nor serves.
+    """
+
+    name: str
+    service_s: float
+    cores: int = 8
+    queue_limit_s: float = 500e-6
+    outages: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def effective_service_s(self) -> float:
+        return self.service_s / self.cores
+
+
+@dataclass
+class FleetOutcome:
+    """A fleet balancer run: per-node split, latency, availability."""
+
+    per_node_served: Tuple[Tuple[str, int], ...]
+    dropped: int
+    offered: int
+    mean_latency_s: float
+    p99_latency_s: float
+    deadline_s: Optional[float]
+    within_deadline: int
+
+    @property
+    def served(self) -> int:
+        return self.offered - self.dropped
+
+    @property
+    def availability(self) -> float:
+        """Served fraction — within the deadline when one is set."""
+        if self.offered == 0:
+            return 1.0
+        if self.deadline_s is None:
+            return self.served / self.offered
+        return self.within_deadline / self.offered
+
+
+def simulate_fleet(
+    nodes: List[NodePathConfig],
+    rate: float,
+    n_packets: int,
+    rng: np.random.Generator,
+    reaction_delay_s: float = 0.0,
+    deadline_s: Optional[float] = None,
+) -> FleetOutcome:
+    """Join-the-shortest-queue across N nodes over a Poisson stream.
+
+    This is ``_run_policy`` with the two hard-wired paths replaced by a
+    vector of them: each arrival is routed to the node with the smallest
+    *observed* backlog (periodic telemetry snapshots of staleness
+    ``reaction_delay_s``, as a fleet balancer sees, rather than the
+    per-path sliding history of the two-path policy), where the observed
+    backlog of a node mid-outage includes the wait for it to come back.
+    A packet whose best visible choice exceeds that node's queue bound is
+    dropped.
+    """
+    if not nodes:
+        raise ValueError("fleet needs at least one node")
+    n = len(nodes)
+    gaps = rng.exponential(1.0 / rate, size=n_packets)
+    arrivals = np.cumsum(gaps).tolist()
+
+    effective = [node.effective_service_s for node in nodes]
+    limits = [node.queue_limit_s for node in nodes]
+    windows = [list(node.outages) for node in nodes]
+    pointers = [0] * n
+    backlogs = [0.0] * n
+    observed = [0.0] * n
+    last_snapshot = float("-inf")
+
+    served_counts = [0] * n
+    latencies: List[float] = []
+    dropped = 0
+    within = 0
+    previous = 0.0
+
+    for now in arrivals:
+        elapsed = now - previous
+        previous = now
+        visible = observed  # refreshed below when the snapshot is due
+        head_delays = [0.0] * n
+        for k in range(n):
+            wins = windows[k]
+            p = pointers[k]
+            while p < len(wins) and wins[p][1] <= now:
+                p += 1
+            pointers[k] = p
+            in_outage = p < len(wins) and wins[p][0] <= now < wins[p][1]
+            if in_outage:
+                head_delays[k] = wins[p][1] - now
+            else:
+                backlogs[k] = max(0.0, backlogs[k] - elapsed)
+        if now - last_snapshot >= reaction_delay_s:
+            observed = [backlogs[k] + head_delays[k] for k in range(n)]
+            last_snapshot = now
+            visible = observed
+
+        best = min(range(n), key=lambda k: (visible[k], k))
+        actual = backlogs[best] + head_delays[best]
+        if actual > limits[best]:
+            dropped += 1
+            continue
+        backlogs[best] += effective[best]
+        latency = backlogs[best] + head_delays[best]
+        latencies.append(latency)
+        served_counts[best] += 1
+        if deadline_s is not None and latency <= deadline_s:
+            within += 1
+
+    values = np.asarray(latencies) if latencies else np.asarray([np.inf])
+    return FleetOutcome(
+        per_node_served=tuple(
+            (node.name, served_counts[k]) for k, node in enumerate(nodes)),
+        dropped=dropped,
+        offered=n_packets,
+        mean_latency_s=float(np.mean(values)),
+        p99_latency_s=float(np.percentile(values, 99)),
+        deadline_s=deadline_s,
+        within_deadline=within,
+    )
+
+
 def snic_cpu_balancer(snic_service_s: float, host_service_s: float,
                       **overrides) -> BalancerConfig:
     """The BlueField-2-CPU implementation the paper found wanting: ~600

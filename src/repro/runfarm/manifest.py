@@ -144,6 +144,7 @@ class RunManifest:
                          requests: int, tier: str, jobs: int,
                          code_version: str,
                          engine: Optional[str] = None,
+                         topology: Optional[str] = None,
                          argv: Optional[List[str]] = None,
                          generation: Optional[int] = None) -> int:
         """Append a ``run`` header; returns the generation number."""
@@ -160,6 +161,7 @@ class RunManifest:
             "requests": requests,
             "tier": tier,
             "engine": engine,
+            "topology": topology,
             "jobs": jobs,
             "code_version": code_version,
             "argv": list(argv) if argv else [],

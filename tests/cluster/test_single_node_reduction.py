@@ -1,0 +1,71 @@
+"""The N=1 reduction: a single-node, fabric-less cluster run must be
+byte-identical to the plain single-node experiments.
+
+This is the acceptance gate for the cluster refactor: adding the
+cluster layer must not perturb the seed repo's results.  The cluster
+experiment's ``single`` tier mirrors fig4/fig5's smoke tiers exactly
+(same caps, keys, rates), so a direct smoke run with the same seed is
+the comparison target.
+"""
+
+import json
+
+import pytest
+
+from repro.core.rng import RandomStreams
+from repro.experiments import registry
+from repro.experiments.cluster import cluster_json, format_cluster
+from repro.experiments.fig4 import fig4_row_json, format_fig4
+from repro.experiments.fig5 import format_fig5
+
+SEED = 2023
+
+
+@pytest.fixture(scope="module")
+def reduction():
+    ctx = registry.ExperimentContext(streams=RandomStreams(SEED),
+                                     tier="single")
+    return ctx.run("cluster")
+
+
+@pytest.fixture(scope="module")
+def direct():
+    ctx = registry.ExperimentContext(streams=RandomStreams(SEED),
+                                     tier=registry.SMOKE_TIER)
+    return ctx.run("fig4"), ctx.run("fig5")
+
+
+class TestReduction:
+    def test_reduces_to_single_node(self, reduction):
+        assert reduction.topology_id == "single:host+bf2"
+        assert reduction.fig4_rows
+        assert reduction.fig5_curves
+
+    def test_fig4_byte_identical(self, reduction, direct):
+        rows4, _ = direct
+        assert format_fig4(reduction.fig4_rows) == format_fig4(rows4)
+        assert ([fig4_row_json(r) for r in reduction.fig4_rows]
+                == [fig4_row_json(r) for r in rows4])
+
+    def test_fig5_byte_identical(self, reduction, direct):
+        _, curves5 = direct
+        assert format_fig5(reduction.fig5_curves) == format_fig5(curves5)
+
+    def test_formatter_handles_reduction(self, reduction):
+        text = format_cluster(reduction)
+        assert "single:host+bf2" in text
+
+    def test_json_shape_passes_cluster_schema(self, reduction):
+        from repro.analysis.export import validate_artifact
+
+        doc = cluster_json(reduction)
+        assert doc["n_nodes"] == 1
+        assert doc["scenarios"] == []
+        assert validate_artifact(doc, registry.get("cluster").schema) == []
+
+    def test_json_fig4_payload_matches_direct(self, reduction, direct):
+        rows4, _ = direct
+        doc = cluster_json(reduction)
+        assert (json.dumps(doc["single_node_fig4"], sort_keys=True)
+                == json.dumps([fig4_row_json(r) for r in rows4],
+                              sort_keys=True))

@@ -127,6 +127,57 @@ class TestSupervisedRun:
         assert capsys.readouterr().out == first
 
 
+class TestTopologyHeader:
+    def test_cluster_run_records_fabric_topology(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(FIDELITY + ["cluster", "--smoke",
+                                "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        header = RunManifest.load(str(run_dir)).header
+        assert header["topology"] == "leafspine:r2xn4:s2:host+bf2:ecn"
+
+    def test_single_node_verbs_record_single_topology(self, tmp_path,
+                                                      capsys):
+        run_dir = tmp_path / "run"
+        assert main(FIDELITY + ["fig7", "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        header = RunManifest.load(str(run_dir)).header
+        assert header["topology"] == "single:host+bf2"
+
+    def test_resume_rejects_topology_mismatch(self, tmp_path, capsys):
+        from repro.core.cache import CODE_VERSION
+
+        run_dir = tmp_path / "run"
+        RunManifest(str(run_dir)).begin_generation(
+            verb="cluster", seed=2023, samples=20, requests=600,
+            tier="smoke", jobs=1, code_version=CODE_VERSION,
+            topology="leafspine:r9xn9:s9:host+bf2:ecn")
+        with pytest.raises(SystemExit):
+            main(FIDELITY + ["cluster", "--smoke",
+                             "--resume", str(run_dir)])
+        err = capsys.readouterr().err
+        assert "leafspine:r9xn9:s9:host+bf2:ecn" in err
+        assert "leafspine:r2xn4:s2:host+bf2:ecn" in err
+
+    def test_headerless_manifest_still_resumes(self, tmp_path, capsys):
+        # Manifests written before the topology field existed carry no
+        # topology; resume must not invent a mismatch.
+        run_dir = tmp_path / "run"
+        assert main(FIDELITY + ["fig7", "--run-dir", str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        configure(ResultCache())
+        # Strip the topology field to simulate an old-format manifest.
+        manifest_path = run_dir / "manifest.jsonl"
+        records = [json.loads(line) for line in
+                   manifest_path.read_text().splitlines()]
+        for record in records:
+            record.pop("topology", None)
+        manifest_path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records))
+        assert main(FIDELITY + ["fig7", "--resume", str(run_dir)]) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestChaosInjection:
     def test_worker_kills_are_requeued_with_identical_output(
             self, tmp_path, capsys, monkeypatch):
